@@ -1,0 +1,160 @@
+package csalt
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one Benchmark per artifact, backed by internal/experiment) and
+// benchmarks the simulator's own building blocks. Experiment benches run at
+// the "tiny" scale so `go test -bench .` stays tractable; use
+// `cmd/experiments -scale small|paper` for the full reproductions recorded
+// in EXPERIMENTS.md.
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/tlb"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// benchExperiment reruns one paper artifact per iteration and reports the
+// value of the summary row's last numeric cell as the headline metric.
+func benchExperiment(b *testing.B, id, metricName string) {
+	b.Helper()
+	e, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var metric float64
+	var sims int
+	for i := 0; i < b.N; i++ {
+		runner := experiment.NewRunner(experiment.Tiny)
+		table, err := e.Run(runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := table.NumRows(); n > 0 {
+			// The summary (geomean/mean) row is last; its rightmost
+			// parseable number is the headline value.
+			for _, c := range table.Row(n - 1) {
+				if v, err := strconv.ParseFloat(c, 64); err == nil {
+					metric = v
+				}
+			}
+		}
+		sims = runner.Runs
+	}
+	if metric != 0 {
+		b.ReportMetric(metric, metricName)
+	}
+	b.ReportMetric(float64(sims), "simulations")
+}
+
+// One benchmark per paper artifact (DESIGN.md's per-experiment index).
+
+func BenchmarkFig1ContextSwitchMPKI(b *testing.B) { benchExperiment(b, "fig1", "mpki-ratio") }
+func BenchmarkTable1WalkCycles(b *testing.B)      { benchExperiment(b, "tab1", "walk-ratio") }
+func BenchmarkFig3Occupancy(b *testing.B)         { benchExperiment(b, "fig3", "tlb-frac") }
+func BenchmarkFig7Performance(b *testing.B)       { benchExperiment(b, "fig7", "csaltcd-vs-pom") }
+func BenchmarkFig8WalksEliminated(b *testing.B)   { benchExperiment(b, "fig8", "eliminated") }
+func BenchmarkFig9PartitionTrace(b *testing.B)    { benchExperiment(b, "fig9", "tlb-frac") }
+func BenchmarkFig10L2MPKI(b *testing.B)           { benchExperiment(b, "fig10", "rel-mpki") }
+func BenchmarkFig11L3MPKI(b *testing.B)           { benchExperiment(b, "fig11", "rel-mpki") }
+func BenchmarkFig12Native(b *testing.B)           { benchExperiment(b, "fig12", "improvement") }
+func BenchmarkFig13PriorWork(b *testing.B)        { benchExperiment(b, "fig13", "csaltcd-vs-pom") }
+func BenchmarkFig14Contexts(b *testing.B)         { benchExperiment(b, "fig14", "gain-4ctx") }
+func BenchmarkFig15Epoch(b *testing.B)            { benchExperiment(b, "fig15", "rel-ipc") }
+func BenchmarkFig16SwitchInterval(b *testing.B)   { benchExperiment(b, "fig16", "gain") }
+
+// Ablation benches (design choices DESIGN.md calls out).
+
+func BenchmarkAblationStatic(b *testing.B) { benchExperiment(b, "ablation-static", "vs-pom") }
+func BenchmarkAblationPolicy(b *testing.B) { benchExperiment(b, "ablation-policy", "vs-lru") }
+func BenchmarkAblationPSC(b *testing.B)    { benchExperiment(b, "ablation-psc", "inflation") }
+func BenchmarkAblationPOMPlacement(b *testing.B) {
+	benchExperiment(b, "ablation-pom-placement", "vs-stacked")
+}
+func BenchmarkAblation5Level(b *testing.B)    { benchExperiment(b, "ablation-5level", "inflation") }
+func BenchmarkAblationHugePages(b *testing.B) { benchExperiment(b, "ablation-hugepages", "mpki-cut") }
+func BenchmarkAblationSharedTLB(b *testing.B) {
+	benchExperiment(b, "ablation-sharedtlb", "vs-private")
+}
+
+// End-to-end simulator throughput: how many memory references per second
+// the full system model retires.
+func BenchmarkSystemThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.Scale = 0.1
+	cfg.MaxRefsPerCore = uint64(b.N)/2 + 10_000
+	cfg.WarmupRefs = 0
+	cfg.Scheme = SchemeCSALTCD
+	cfg.Mix = HomogeneousMix(GUPS)
+	b.ResetTimer()
+	res, err := Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.IPCGeomean, "sim-ipc")
+}
+
+// Microbenchmarks of the hot building blocks.
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := cache.MustNew(cache.Config{Name: "b", SizeKB: 256, Ways: 4, Policy: cache.PolicyLRU})
+	for i := 0; i < b.N; i++ {
+		a := mem.PAddr(uint64(i) * 64 % (1 << 20))
+		if !c.Lookup(a, cache.Data, false) {
+			c.Fill(a, cache.Data, false)
+		}
+	}
+}
+
+func BenchmarkCacheLookupProfiled(b *testing.B) {
+	c := cache.MustNew(cache.Config{
+		Name: "b", SizeKB: 256, Ways: 4, Policy: cache.PolicyLRU,
+		Profiled: true, ProfilerSampleShift: 3,
+	})
+	c.SetPartition(3)
+	for i := 0; i < b.N; i++ {
+		a := mem.PAddr(uint64(i) * 64 % (1 << 20))
+		typ := cache.Data
+		if i%4 == 0 {
+			typ = cache.Translation
+		}
+		if !c.Lookup(a, typ, false) {
+			c.Fill(a, typ, false)
+		}
+	}
+}
+
+func BenchmarkTLBLookup(b *testing.B) {
+	t := tlb.MustNew(tlb.Config{Name: "b", Entries: 1536, Ways: 12, Latency: 17})
+	for i := 0; i < 2048; i++ {
+		t.Insert(mem.VAddr(i)<<12, 1, mem.PAddr(i)<<12, mem.Page4K)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(mem.VAddr(i%2048)<<12, 1)
+	}
+}
+
+func BenchmarkPOMLookup(b *testing.B) {
+	p := tlb.MustNewPOM(0x20_0000_0000, 16<<20)
+	for i := 0; i < 1<<16; i++ {
+		p.Insert(mem.VAddr(i)<<12, 1, mem.PAddr(i)<<12)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Lookup(mem.VAddr(i%(1<<16))<<12, 1)
+	}
+}
+
+func BenchmarkWorkloadGen(b *testing.B) {
+	src := workload.MustNew(workload.CComp, workload.Params{Seed: 1, Scale: 0.25})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}

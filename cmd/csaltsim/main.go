@@ -1,0 +1,144 @@
+// Command csaltsim runs one simulated configuration and prints its
+// measurements.
+//
+//	csaltsim -mix ccomp -scheme csalt-cd
+//	csaltsim -mix graph500_gups -org conventional -contexts 4 -cores 8
+//	csaltsim -vm1 canneal -vm2 gups -scheme csalt-d -refs 500000
+//
+// All of Table 2's machine parameters are built in; the flags select the
+// workload, translation organisation, cache-management scheme and run
+// length.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/csalt-sim/csalt"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		mixID    = flag.String("mix", "", "paper mix id (e.g. ccomp, graph500_gups); overrides -vm1/-vm2")
+		vm1      = flag.String("vm1", "gups", "benchmark for VM 1")
+		vm2      = flag.String("vm2", "", "benchmark for VM 2 (defaults to vm1)")
+		org      = flag.String("org", "pom", "translation organisation: conventional | pom | tsb")
+		scheme   = flag.String("scheme", "none", "cache scheme: none | static | csalt-d | csalt-cd")
+		dip      = flag.Bool("dip", false, "enable DIP insertion")
+		cores    = flag.Int("cores", 8, "number of cores")
+		contexts = flag.Int("contexts", 2, "VM contexts per core")
+		native   = flag.Bool("native", false, "native (1-D) translation instead of virtualized 2-D")
+		refs     = flag.Uint64("refs", 300_000, "memory references per core (including warmup)")
+		warmup   = flag.Uint64("warmup", 60_000, "warmup references per core")
+		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		history  = flag.Bool("history", false, "print the per-epoch partition trace")
+		jsonOut  = flag.Bool("json", false, "emit the full Results struct as JSON")
+	)
+	flag.Parse()
+
+	cfg := csalt.DefaultConfig()
+	cfg.Cores = *cores
+	cfg.ContextsPerCore = *contexts
+	cfg.Virtualized = !*native
+	cfg.MaxRefsPerCore = *refs
+	cfg.WarmupRefs = *warmup
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.DIP = *dip
+	cfg.RecordHistory = *history
+
+	if *mixID != "" {
+		mix, err := csalt.MixByID(*mixID)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.Mix = mix
+	} else {
+		b1, err := csalt.ParseBenchmark(*vm1)
+		if err != nil {
+			fail("%v", err)
+		}
+		b2 := b1
+		if *vm2 != "" {
+			if b2, err = csalt.ParseBenchmark(*vm2); err != nil {
+				fail("%v", err)
+			}
+		}
+		cfg.Mix = csalt.Mix{ID: fmt.Sprintf("%s_%s", b1, b2), VM1: b1, VM2: b2}
+	}
+
+	switch *org {
+	case "conventional":
+		cfg.Org = csalt.OrgConventional
+	case "pom":
+		cfg.Org = csalt.OrgPOM
+	case "tsb":
+		cfg.Org = csalt.OrgTSB
+	default:
+		fail("unknown org %q", *org)
+	}
+	switch *scheme {
+	case "none":
+		cfg.Scheme = csalt.SchemeNone
+	case "static":
+		cfg.Scheme = csalt.SchemeStatic
+	case "csalt-d":
+		cfg.Scheme = csalt.SchemeCSALTD
+	case "csalt-cd":
+		cfg.Scheme = csalt.SchemeCSALTCD
+	default:
+		fail("unknown scheme %q", *scheme)
+	}
+
+	res, err := csalt.Run(cfg)
+	if err != nil {
+		fail("simulation failed: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail("encoding results: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("mix=%s org=%s scheme=%s cores=%d contexts=%d virtualized=%v\n",
+		cfg.Mix.ID, res.OrgName, res.SchemeName, cfg.Cores, cfg.ContextsPerCore, cfg.Virtualized)
+	fmt.Printf("IPC (geomean)            %8.4f\n", res.IPCGeomean)
+	fmt.Printf("instructions measured    %8d\n", res.Instructions)
+	fmt.Printf("L1 TLB MPKI              %8.2f\n", res.L1TLBMPKI)
+	fmt.Printf("L2 TLB MPKI              %8.2f\n", res.L2TLBMPKI)
+	fmt.Printf("translation cyc/L2 miss  %8.1f\n", res.WalkCyclesPerL2Miss)
+	fmt.Printf("page walks               %8d (%.1f%% eliminated)\n", res.PageWalks, 100*res.WalksEliminated)
+	fmt.Printf("L2 D$ MPKI               %8.2f (data-only %.2f)\n", res.L2DMPKI, res.L2DataMPKI)
+	fmt.Printf("L3 D$ MPKI               %8.2f (data-only %.2f)\n", res.L3DMPKI, res.L3DataMPKI)
+	fmt.Printf("TLB occupancy L2/L3      %7.1f%% / %.1f%%\n", 100*res.TLBOccupancyL2, 100*res.TLBOccupancyL3)
+	if cfg.Org == csalt.OrgPOM {
+		fmt.Printf("POM-TLB hit rate         %7.1f%%\n", 100*res.POMHitRate)
+	}
+	fmt.Printf("context switches         %8d\n", res.ContextSwitches)
+	fmt.Printf("translation stall frac   %7.1f%%\n", 100*res.TranslateStallFrac)
+	fmt.Printf("pages touched            %8d\n", res.TouchedPages)
+
+	if *history {
+		fmt.Println("\nepoch  L2 TLB frac  L3 TLB frac")
+		n := len(res.PartitionHistoryL3)
+		if len(res.PartitionHistoryL2) < n {
+			n = len(res.PartitionHistoryL2)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("%5d  %11.2f  %11.2f\n", res.PartitionHistoryL3[i].Epoch,
+				res.PartitionHistoryL2[i].TLBFraction, res.PartitionHistoryL3[i].TLBFraction)
+		}
+	}
+}

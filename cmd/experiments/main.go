@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig7 -scale small
+//	experiments -run all -scale paper
+//
+// Scales trade fidelity for time: "tiny" (seconds, 2 cores), "small"
+// (default; full 8-core machine, scaled footprints), "paper" (full
+// calibrated footprints; minutes per figure). See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list available experiments")
+		run         = flag.String("run", "", "experiment id to run, or 'all'")
+		scale       = flag.String("scale", "small", "tiny | small | paper")
+		paperValues = flag.Bool("paper-values", false, "print the paper's reported values (optionally filtered by -run) and exit")
+	)
+	flag.Parse()
+
+	if *paperValues {
+		artifact := *run
+		if artifact == "all" {
+			artifact = ""
+		}
+		experiment.PaperTable(artifact).Render(os.Stdout)
+		return
+	}
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiment.All() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Title)
+			fmt.Printf("  %-22s   paper: %s\n", "", e.PaperClaim)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	sc, err := experiment.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner := experiment.NewRunner(sc)
+
+	var todo []experiment.Experiment
+	if *run == "all" {
+		todo = experiment.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		fmt.Printf("# paper: %s\n", e.PaperClaim)
+		table.Render(os.Stdout)
+		fmt.Printf("# scale=%s elapsed=%s simulations=%d\n\n", sc.Name, time.Since(start).Round(time.Millisecond), runner.Runs)
+	}
+}

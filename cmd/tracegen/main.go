@@ -1,0 +1,124 @@
+// Command tracegen materialises the synthetic workload generators into
+// binary trace files, and inspects existing ones.
+//
+//	tracegen -bench gups -n 1000000 -o gups.trace
+//	tracegen -inspect gups.trace
+//
+// Traces use the compact varint format of internal/trace; the simulator's
+// generators are deterministic, so a written trace replays the exact
+// stream a live generator would feed the simulator with the same seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/trace"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gups", "benchmark to generate")
+		n       = flag.Int("n", 1_000_000, "number of records")
+		out     = flag.String("o", "", "output trace file")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		scale   = flag.Float64("scale", 0.25, "footprint scale")
+		asid    = flag.Uint("asid", 1, "address-space id stamped on records")
+		inspect = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectTrace(*inspect)
+		return
+	}
+	if *out == "" {
+		fail("need -o <file> (or -inspect <file>)")
+	}
+	name, err := workload.Parse(*bench)
+	if err != nil {
+		fail("%v", err)
+	}
+	src, err := workload.New(name, workload.Params{
+		ASID:  mem.ASID(*asid),
+		Base:  0x10_0000_0000,
+		Seed:  *seed,
+		Scale: *scale,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	for i := 0; i < *n; i++ {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(r); err != nil {
+			fail("writing record %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fail("%v", err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %d records of %s to %s (%d bytes, %.1f B/record)\n",
+		*n, name, *out, st.Size(), float64(st.Size())/float64(*n))
+}
+
+func inspectTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	var (
+		records, loads, stores uint64
+		instructions           uint64
+		pages                  = map[uint64]bool{}
+		asids                  = map[mem.ASID]bool{}
+	)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		records++
+		instructions += rec.Instructions()
+		if rec.Kind == trace.Store {
+			stores++
+		} else {
+			loads++
+		}
+		pages[mem.PageNumber(rec.Addr, mem.Page4K)] = true
+		asids[rec.ASID] = true
+	}
+	if err := r.Err(); err != nil {
+		fail("trace corrupt after %d records: %v", records, err)
+	}
+	fmt.Printf("%s: %d records (%d loads, %d stores), %d instructions\n",
+		path, records, loads, stores, instructions)
+	fmt.Printf("distinct 4K pages: %d (%.1f MB footprint), address spaces: %d\n",
+		len(pages), float64(len(pages))*4096/1e6, len(asids))
+}

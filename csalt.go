@@ -1,0 +1,111 @@
+// Package csalt is a from-scratch reproduction of "CSALT: Context Switch
+// Aware Large TLB" (Marathe et al., MICRO-50, 2017): a multi-core
+// memory-system simulator with virtualized (2-D nested) address
+// translation, a part-of-memory L3 TLB (POM-TLB), and the CSALT TLB-aware
+// dynamic cache-partitioning schemes, plus every baseline the paper
+// evaluates against (conventional L1–L2 TLBs, unmanaged POM-TLB, TSB,
+// DIP).
+//
+// Quick start:
+//
+//	cfg := csalt.DefaultConfig()
+//	cfg.Mix = csalt.MixByIDMust("gups")
+//	cfg.Scheme = csalt.SchemeCSALTCD
+//	res, err := csalt.Run(cfg)
+//	fmt.Println(res.IPCGeomean)
+//
+// The examples/ directory contains runnable scenarios; cmd/experiments
+// regenerates every table and figure of the paper's evaluation.
+package csalt
+
+import (
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// Config describes one simulated machine + workload pairing; see
+// DefaultConfig for the paper's Table 2 machine.
+type Config = sim.Config
+
+// Results carries every measurement of a run (IPC, MPKIs, walk costs,
+// occupancies, partition traces).
+type Results = sim.Results
+
+// Mix is a two-VM workload composition (Table 3).
+type Mix = workload.Mix
+
+// Benchmark names the synthetic workload models (§4.1).
+type Benchmark = workload.Name
+
+// Translation organisations below the L2 TLB.
+const (
+	OrgConventional = sim.OrgConventional // page walk on every L2 TLB miss
+	OrgPOM          = sim.OrgPOM          // part-of-memory L3 TLB (CSALT's substrate)
+	OrgTSB          = sim.OrgTSB          // software translation storage buffers
+)
+
+// Cache-management schemes.
+const (
+	SchemeNone    = core.None               // unpartitioned caches
+	SchemeStatic  = core.Static             // fixed data/TLB split
+	SchemeCSALTD  = core.Dynamic            // CSALT-D (Algorithm 1)
+	SchemeCSALTCD = core.CriticalityDynamic // CSALT-CD (Algorithm 3)
+)
+
+// Replacement policies for the managed caches (§3.4).
+const (
+	PolicyLRU    = cache.PolicyLRU
+	PolicyNRU    = cache.PolicyNRU
+	PolicyBTPLRU = cache.PolicyBTPLRU
+)
+
+// Benchmarks of §4.1.
+const (
+	Canneal       = workload.Canneal
+	CComp         = workload.CComp
+	Graph500      = workload.Graph500
+	GUPS          = workload.GUPS
+	PageRank      = workload.PageRank
+	StreamCluster = workload.StreamCluster
+)
+
+// DefaultConfig returns the paper's 8-core machine (Table 2) with
+// run-control values scaled for simulator-sized runs.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Run builds the system described by cfg and plays its workload to
+// completion.
+func Run(cfg Config) (*Results, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Mixes returns the paper's ten workload compositions in x-axis order.
+func Mixes() []Mix { return workload.Mixes() }
+
+// MixByID looks a mix up by its paper label (e.g. "graph500_gups").
+func MixByID(id string) (Mix, error) { return workload.MixByID(id) }
+
+// MixByIDMust panics on unknown labels; for examples and tests.
+func MixByIDMust(id string) Mix {
+	m, err := workload.MixByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// HomogeneousMix builds a mix that co-schedules two instances of one
+// benchmark, the paper's convention for single-name workloads.
+func HomogeneousMix(b Benchmark) Mix {
+	return Mix{ID: string(b), VM1: b, VM2: b}
+}
+
+// ParseBenchmark converts a string (accepting the paper's abbreviations)
+// to a Benchmark.
+func ParseBenchmark(s string) (Benchmark, error) { return workload.Parse(s) }

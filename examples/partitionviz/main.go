@@ -1,0 +1,58 @@
+// Partitionviz traces CSALT-CD's epoch-by-epoch way allocation on the
+// paper's deep-dive workload (connectedcomponent, §5.1 / Figure 9),
+// rendering the fraction of L2 and L3 cache ways granted to TLB entries
+// over execution time as ASCII bars.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/csalt-sim/csalt"
+)
+
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+func main() {
+	cfg := csalt.DefaultConfig()
+	cfg.Mix = csalt.HomogeneousMix(csalt.CComp)
+	cfg.Scheme = csalt.SchemeCSALTCD
+	cfg.RecordHistory = true
+	cfg.Cores = 4
+	cfg.MaxRefsPerCore = 250_000
+	cfg.WarmupRefs = 20_000
+	cfg.EpochLen = 10_000
+
+	res, err := csalt.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connectedcomponent x2 VMs, CSALT-CD — IPC %.3f, L2 TLB MPKI %.1f\n\n",
+		res.IPCGeomean, res.L2TLBMPKI)
+	fmt.Println("fraction of cache ways allocated to TLB entries, per epoch")
+	fmt.Println("epoch   L2 D$ (core 0)            L3 D$ (shared)")
+
+	l2, l3 := res.PartitionHistoryL2, res.PartitionHistoryL3
+	n := len(l3)
+	if len(l2) < n {
+		n = len(l2)
+	}
+	if n == 0 {
+		log.Fatal("no partition history recorded — run longer or shorten the epoch")
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("%5d   [%s] %.2f   [%s] %.2f\n",
+			l3[i].Epoch,
+			bar(l2[i].TLBFraction, 16), l2[i].TLBFraction,
+			bar(l3[i].TLBFraction, 16), l3[i].TLBFraction)
+	}
+	fmt.Println("\nThe allocation tracks the workload's phases: scatter phases push")
+	fmt.Println("translation pressure up and the controller responds, as in Fig. 9.")
+}

@@ -1,0 +1,67 @@
+// Policycompare pits every translation/cache-management scheme the paper
+// evaluates against each other on one workload mix (the Figure 7/13
+// comparison, in miniature): conventional walks, TSB, POM-TLB, DIP over
+// POM-TLB, static partitioning, CSALT-D and CSALT-CD.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/csalt-sim/csalt"
+)
+
+func main() {
+	mixID := "gups"
+	if len(os.Args) > 1 {
+		mixID = os.Args[1]
+	}
+	mix, err := csalt.MixByID(mixID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := csalt.DefaultConfig()
+	base.Mix = mix
+	base.Cores = 4
+	base.MaxRefsPerCore = 100_000
+	base.WarmupRefs = 20_000
+	base.EpochLen = 16_000
+
+	type variant struct {
+		name string
+		mut  func(*csalt.Config)
+	}
+	variants := []variant{
+		{"conventional", func(c *csalt.Config) { c.Org = csalt.OrgConventional }},
+		{"tsb", func(c *csalt.Config) { c.Org = csalt.OrgTSB }},
+		{"pom-tlb", func(c *csalt.Config) {}},
+		{"pom+dip", func(c *csalt.Config) { c.DIP = true }},
+		{"csalt-static", func(c *csalt.Config) { c.Scheme = csalt.SchemeStatic }},
+		{"csalt-d", func(c *csalt.Config) { c.Scheme = csalt.SchemeCSALTD }},
+		{"csalt-cd", func(c *csalt.Config) { c.Scheme = csalt.SchemeCSALTCD }},
+	}
+
+	var pomIPC float64
+	fmt.Printf("mix %s: %s + %s, %d cores, 2 contexts/core\n\n", mix.ID, mix.VM1, mix.VM2, base.Cores)
+	fmt.Printf("%-14s %8s %10s %12s %14s\n", "scheme", "IPC", "vs pom", "tlb mpki", "cyc/L2miss")
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		res, err := csalt.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.name == "pom-tlb" {
+			pomIPC = res.IPCGeomean
+		}
+		rel := "-"
+		if pomIPC > 0 {
+			rel = fmt.Sprintf("%.3f", res.IPCGeomean/pomIPC)
+		}
+		fmt.Printf("%-14s %8.3f %10s %12.1f %14.0f\n",
+			v.name, res.IPCGeomean, rel, res.L2TLBMPKI, res.WalkCyclesPerL2Miss)
+	}
+	fmt.Println("\n(vs pom is only meaningful for rows after pom-tlb; run order matches Fig. 13)")
+}

@@ -1,0 +1,3 @@
+module github.com/csalt-sim/csalt
+
+go 1.22

@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+)
+
+func TestProfilerStackDistances(t *testing.T) {
+	p := NewProfiler(4, 4, 0) // every set profiled
+	// Access tags 1,2,3 then 1 again in set 0: tag 1 is at stack distance 2.
+	p.Access(0, 1, Data)
+	p.Access(0, 2, Data)
+	p.Access(0, 3, Data)
+	p.Access(0, 1, Data)
+	if got := p.Counter(Data, 2); got != 1 {
+		t.Errorf("counter[2] = %d, want 1 (hit at distance 2)", got)
+	}
+	if got := p.Counter(Data, 4); got != 3 {
+		t.Errorf("miss counter = %d, want 3 (cold misses)", got)
+	}
+	// Immediately repeated access: distance 0.
+	p.Access(0, 1, Data)
+	if got := p.Counter(Data, 0); got != 1 {
+		t.Errorf("counter[0] = %d, want 1", got)
+	}
+}
+
+func TestProfilerTypesIndependent(t *testing.T) {
+	p := NewProfiler(4, 4, 0)
+	// The same tag in both type stacks must not interfere.
+	p.Access(0, 7, Data)
+	p.Access(0, 7, Translation)
+	p.Access(0, 7, Data)
+	p.Access(0, 7, Translation)
+	if got := p.Counter(Data, 0); got != 1 {
+		t.Errorf("data counter[0] = %d, want 1", got)
+	}
+	if got := p.Counter(Translation, 0); got != 1 {
+		t.Errorf("tlb counter[0] = %d, want 1", got)
+	}
+}
+
+func TestProfilerEvictsBeyondAssociativity(t *testing.T) {
+	p := NewProfiler(1, 2, 0)
+	p.Access(0, 1, Data)
+	p.Access(0, 2, Data)
+	p.Access(0, 3, Data) // evicts tag 1 from the 2-way ATD
+	p.Access(0, 1, Data) // must be a miss again
+	if got := p.Counter(Data, 2); got != 4 {
+		t.Errorf("miss counter = %d, want 4", got)
+	}
+}
+
+func TestProfilerSampling(t *testing.T) {
+	p := NewProfiler(8, 4, 2) // sample every 4th set
+	p.Access(0, 1, Data)      // sampled
+	p.Access(1, 1, Data)      // not sampled
+	p.Access(4, 1, Data)      // sampled
+	if got := p.Accesses(Data); got != 2 {
+		t.Errorf("profiled accesses = %d, want 2", got)
+	}
+}
+
+func TestProfilerHitsUpTo(t *testing.T) {
+	p := NewProfiler(1, 4, 0)
+	// Build hits at distances 0,1,2.
+	p.Access(0, 1, Data)
+	p.Access(0, 1, Data) // d0
+	p.Access(0, 2, Data)
+	p.Access(0, 1, Data) // d1
+	p.Access(0, 3, Data)
+	p.Access(0, 2, Data) // d2... wait: order after d1 hit: 1,2; then 3 -> 3,1,2; access 2 -> distance 2
+	if got := p.HitsUpTo(Data, 1); got != 1 {
+		t.Errorf("HitsUpTo(1) = %d, want 1", got)
+	}
+	if got := p.HitsUpTo(Data, 3); got != 3 {
+		t.Errorf("HitsUpTo(3) = %d, want 3", got)
+	}
+	// n beyond ways clamps.
+	if got := p.HitsUpTo(Data, 99); got != p.HitsUpTo(Data, 4) {
+		t.Error("HitsUpTo did not clamp")
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	p := NewProfiler(1, 4, 0)
+	p.Access(0, 1, Data)
+	p.Access(0, 1, Data)
+	p.Reset()
+	if p.Accesses(Data) != 0 {
+		t.Error("Reset left counters")
+	}
+	// ATD content persists: the next access to tag 1 is a hit at d0.
+	p.Access(0, 1, Data)
+	if got := p.Counter(Data, 0); got != 1 {
+		t.Errorf("post-reset access not a warm hit: counter[0] = %d", got)
+	}
+}
+
+func TestInlineProfiler(t *testing.T) {
+	p := NewInlineProfiler(8)
+	if !p.Inline() {
+		t.Fatal("Inline() = false")
+	}
+	p.RecordPos(Data, 3)
+	p.RecordPos(Data, -5) // clamps to 0
+	p.RecordPos(Data, 99) // clamps to ways-1
+	p.RecordMiss(Data)
+	if got := p.Counter(Data, 3); got != 1 {
+		t.Errorf("counter[3] = %d", got)
+	}
+	if got := p.Counter(Data, 0); got != 1 {
+		t.Errorf("counter[0] = %d", got)
+	}
+	if got := p.Counter(Data, 7); got != 1 {
+		t.Errorf("counter[7] = %d", got)
+	}
+	if got := p.Counter(Data, 8); got != 1 {
+		t.Errorf("miss counter = %d", got)
+	}
+	// Access is a no-op in inline mode.
+	p.Access(0, 1, Data)
+	if got := p.Accesses(Data); got != 4 {
+		t.Errorf("Accesses = %d, want 4", got)
+	}
+}
+
+// TestProfilerConservation: hits at all distances plus misses equals total
+// accesses, for any access pattern.
+func TestProfilerConservation(t *testing.T) {
+	f := func(accs []uint16) bool {
+		p := NewProfiler(4, 8, 0)
+		for _, a := range accs {
+			typ := Data
+			if a&0x8000 != 0 {
+				typ = Translation
+			}
+			p.Access(int(a)%4, uint64(a>>2)%64, typ)
+		}
+		total := p.Accesses(Data) + p.Accesses(Translation)
+		return total == uint64(len(accs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProfilerMatchesRealCache: for a true-LRU cache with N ways dedicated
+// to a single type, the profiler's HitsUpTo(N) must equal the hits the real
+// cache sees on the same (single-set) access stream. This is the core
+// soundness property of the marginal-utility predictor.
+func TestProfilerMatchesRealCache(t *testing.T) {
+	f := func(tags []uint8) bool {
+		c := MustNew(Config{Name: "m", SizeKB: 1, Ways: 4, Policy: PolicyLRU, Profiled: true})
+		// Use a single set (set 0) to keep the comparison exact.
+		hits := uint64(0)
+		for _, tg := range tags {
+			tag := uint64(tg) % 32
+			a := mem.PAddr(tag * uint64(c.Sets()) * mem.LineSize) // set 0, distinct tags
+			if c.Lookup(a, Data, false) {
+				hits++
+			} else {
+				c.Fill(a, Data, false)
+			}
+		}
+		return c.Profiler().HitsUpTo(Data, 4) == hits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PolicyKind selects a replacement policy. True LRU is what the CSALT
+// algorithms are described over; NRU and binary-tree pseudo-LRU are the
+// realistic policies §3.4 adapts the scheme to.
+type PolicyKind uint8
+
+// Replacement policies.
+const (
+	PolicyLRU PolicyKind = iota
+	PolicyNRU
+	PolicyBTPLRU
+)
+
+// String names the policy.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyNRU:
+		return "nru"
+	case PolicyBTPLRU:
+		return "bt-plru"
+	default:
+		return "lru"
+	}
+}
+
+// Policy is per-set replacement state. Victim selection takes a way range
+// [lo, hi) so the cache can enforce a data/TLB partition; StackPos returns
+// an estimate of the way's LRU stack position (0 = MRU), which is exact for
+// true LRU and the §3.4 approximation for the pseudo-LRU policies.
+type Policy interface {
+	Touch(set, way int)         // record a hit
+	Fill(set, way int)          // record an insertion (MRU position)
+	Demote(set, way int)        // force way to the LRU end (DIP insertion)
+	Victim(set, lo, hi int) int // pick an eviction victim within [lo, hi)
+	StackPos(set, way int) int  // estimated recency position, 0 = MRU
+	Kind() PolicyKind
+}
+
+// NewPolicy constructs the policy state for a sets x ways cache.
+func NewPolicy(kind PolicyKind, sets, ways int) (Policy, error) {
+	switch kind {
+	case PolicyLRU:
+		return newTrueLRU(sets, ways), nil
+	case PolicyNRU:
+		return newNRU(sets, ways), nil
+	case PolicyBTPLRU:
+		if ways&(ways-1) != 0 {
+			return nil, fmt.Errorf("bt-plru requires power-of-two ways, got %d", ways)
+		}
+		return newBTPLRU(sets, ways), nil
+	}
+	return nil, fmt.Errorf("unknown policy kind %d", kind)
+}
+
+// trueLRU keeps a per-way sequence number; larger = more recent.
+type trueLRU struct {
+	ways int
+	seq  []uint64 // sets*ways
+	next uint64
+}
+
+func newTrueLRU(sets, ways int) *trueLRU {
+	return &trueLRU{ways: ways, seq: make([]uint64, sets*ways), next: 1}
+}
+
+func (p *trueLRU) Kind() PolicyKind { return PolicyLRU }
+
+func (p *trueLRU) Touch(set, way int) {
+	p.seq[set*p.ways+way] = p.next
+	p.next++
+}
+
+func (p *trueLRU) Fill(set, way int) { p.Touch(set, way) }
+
+func (p *trueLRU) Demote(set, way int) { p.seq[set*p.ways+way] = 0 }
+
+func (p *trueLRU) Victim(set, lo, hi int) int {
+	base := set * p.ways
+	victim, best := lo, p.seq[base+lo]
+	for w := lo + 1; w < hi; w++ {
+		if s := p.seq[base+w]; s < best {
+			victim, best = w, s
+		}
+	}
+	return victim
+}
+
+func (p *trueLRU) StackPos(set, way int) int {
+	base := set * p.ways
+	mine := p.seq[base+way]
+	pos := 0
+	for w := 0; w < p.ways; w++ {
+		if w != way && p.seq[base+w] > mine {
+			pos++
+		}
+	}
+	return pos
+}
+
+// nru keeps one "not recently used" bit per way (1 = eviction candidate).
+type nru struct {
+	ways int
+	bit  []bool // sets*ways; true = not recently used
+}
+
+func newNRU(sets, ways int) *nru {
+	b := make([]bool, sets*ways)
+	for i := range b {
+		b[i] = true
+	}
+	return &nru{ways: ways, bit: b}
+}
+
+func (p *nru) Kind() PolicyKind { return PolicyNRU }
+
+func (p *nru) Touch(set, way int) {
+	base := set * p.ways
+	p.bit[base+way] = false
+	// If every way is now marked recently-used, reset the others, keeping
+	// the standard NRU aging behaviour.
+	for w := 0; w < p.ways; w++ {
+		if p.bit[base+w] {
+			return
+		}
+	}
+	for w := 0; w < p.ways; w++ {
+		if w != way {
+			p.bit[base+w] = true
+		}
+	}
+}
+
+func (p *nru) Fill(set, way int) { p.Touch(set, way) }
+
+func (p *nru) Demote(set, way int) { p.bit[set*p.ways+way] = true }
+
+func (p *nru) Victim(set, lo, hi int) int {
+	base := set * p.ways
+	for w := lo; w < hi; w++ {
+		if p.bit[base+w] {
+			return w
+		}
+	}
+	// No candidate within the range: age the range and take its first way.
+	for w := lo; w < hi; w++ {
+		p.bit[base+w] = true
+	}
+	return lo
+}
+
+// StackPos follows §3.4: an NRU bit of 0 places the line in the
+// recently-used half of the estimated stack, 1 in the old half. The
+// midpoints of the halves are used as the position estimate.
+func (p *nru) StackPos(set, way int) int {
+	if p.bit[set*p.ways+way] {
+		return p.ways * 3 / 4
+	}
+	return p.ways / 4
+}
+
+// btplru keeps the classic binary-tree pseudo-LRU bits: ways-1 internal
+// nodes per set, bit=0 meaning the left subtree is older (victim side).
+type btplru struct {
+	ways  int
+	depth int
+	node  []bool // sets*(ways-1); false = victim is left, true = right
+}
+
+func newBTPLRU(sets, ways int) *btplru {
+	return &btplru{
+		ways:  ways,
+		depth: bits.TrailingZeros(uint(ways)),
+		node:  make([]bool, sets*(ways-1)),
+	}
+}
+
+func (p *btplru) Kind() PolicyKind { return PolicyBTPLRU }
+
+// Touch flips the bits on the way's root path to point away from it.
+func (p *btplru) Touch(set, way int) {
+	base := set * (p.ways - 1)
+	idx := 0
+	span := p.ways
+	for span > 1 {
+		span /= 2
+		right := way%(span*2) >= span
+		// Point at the other half.
+		p.node[base+idx] = !right
+		if right {
+			idx = 2*idx + 2
+		} else {
+			idx = 2*idx + 1
+		}
+	}
+}
+
+func (p *btplru) Fill(set, way int) { p.Touch(set, way) }
+
+// Demote flips the path bits to point toward the way, making it the next
+// victim in its subtree.
+func (p *btplru) Demote(set, way int) {
+	base := set * (p.ways - 1)
+	idx := 0
+	span := p.ways
+	for span > 1 {
+		span /= 2
+		right := way%(span*2) >= span
+		p.node[base+idx] = right
+		if right {
+			idx = 2*idx + 2
+		} else {
+			idx = 2*idx + 1
+		}
+	}
+}
+
+// Victim walks the tree, but when a subtree lies entirely outside [lo, hi)
+// it is forced to the other side, which keeps selection inside the
+// partition's way range.
+func (p *btplru) Victim(set, lo, hi int) int {
+	base := set * (p.ways - 1)
+	idx := 0
+	wayLo, wayHi := 0, p.ways // current subtree interval
+	for wayHi-wayLo > 1 {
+		mid := (wayLo + wayHi) / 2
+		goRight := p.node[base+idx]
+		if mid >= hi { // right half fully outside range
+			goRight = false
+		} else if mid <= lo { // left half fully outside range
+			goRight = true
+		}
+		if goRight {
+			idx = 2*idx + 2
+			wayLo = mid
+		} else {
+			idx = 2*idx + 1
+			wayHi = mid
+		}
+	}
+	return wayLo
+}
+
+// StackPos uses the identifier estimate of §3.4 (after Kedzierski et al.):
+// each root-path bit pointing toward the way contributes that level's
+// subtree size, so a way all bits point to estimates as LRU (K−1) and a
+// way no bits point to as MRU (0).
+func (p *btplru) StackPos(set, way int) int {
+	base := set * (p.ways - 1)
+	idx := 0
+	span := p.ways
+	pos := 0
+	for span > 1 {
+		span /= 2
+		right := way%(span*2) >= span
+		if p.node[base+idx] == right {
+			pos += span
+		}
+		if right {
+			idx = 2*idx + 2
+		} else {
+			idx = 2*idx + 1
+		}
+	}
+	if pos > p.ways-1 {
+		pos = p.ways - 1
+	}
+	return pos
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func policies(t *testing.T, sets, ways int) map[string]Policy {
+	t.Helper()
+	out := map[string]Policy{}
+	for _, k := range []PolicyKind{PolicyLRU, PolicyNRU, PolicyBTPLRU} {
+		p, err := NewPolicy(k, sets, ways)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k.String()] = p
+	}
+	return out
+}
+
+func TestPolicyKindString(t *testing.T) {
+	if PolicyLRU.String() != "lru" || PolicyNRU.String() != "nru" || PolicyBTPLRU.String() != "bt-plru" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy(PolicyKind(99), 4, 4); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+}
+
+func TestVictimInRangeAllPolicies(t *testing.T) {
+	for name, p := range policies(t, 4, 8) {
+		// Touch everything in some order, then ask for victims within
+		// various ranges: the victim must always fall inside the range.
+		for w := 0; w < 8; w++ {
+			p.Touch(0, w)
+		}
+		for lo := 0; lo < 8; lo++ {
+			for hi := lo + 1; hi <= 8; hi++ {
+				v := p.Victim(0, lo, hi)
+				if v < lo || v >= hi {
+					t.Errorf("%s: Victim(0,%d,%d) = %d out of range", name, lo, hi, v)
+				}
+			}
+		}
+	}
+}
+
+func TestVictimRangeProperty(t *testing.T) {
+	f := func(touches []uint8, loRaw, hiRaw uint8) bool {
+		lo := int(loRaw) % 8
+		hi := lo + 1 + int(hiRaw)%(8-lo)
+		for _, p := range policies(t, 2, 8) {
+			for _, tc := range touches {
+				p.Touch(int(tc)%2, int(tc>>1)%8)
+			}
+			v := p.Victim(1, lo, hi)
+			if v < lo || v >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrueLRUVictimIsLeastRecent(t *testing.T) {
+	p, _ := NewPolicy(PolicyLRU, 1, 4)
+	order := []int{2, 0, 3, 1} // touch order; way 2 is least recent
+	for _, w := range order {
+		p.Touch(0, w)
+	}
+	if v := p.Victim(0, 0, 4); v != 2 {
+		t.Errorf("LRU victim = %d, want 2", v)
+	}
+	// Restricted to [0,2): least recent of {0,1} is 0.
+	if v := p.Victim(0, 0, 2); v != 0 {
+		t.Errorf("restricted LRU victim = %d, want 0", v)
+	}
+}
+
+func TestTrueLRUStackPos(t *testing.T) {
+	p, _ := NewPolicy(PolicyLRU, 1, 4)
+	for _, w := range []int{0, 1, 2, 3} {
+		p.Touch(0, w)
+	}
+	// Way 3 was touched last: MRU = position 0. Way 0 is LRU = position 3.
+	if got := p.StackPos(0, 3); got != 0 {
+		t.Errorf("StackPos(3) = %d, want 0", got)
+	}
+	if got := p.StackPos(0, 0); got != 3 {
+		t.Errorf("StackPos(0) = %d, want 3", got)
+	}
+}
+
+func TestTrueLRUDemote(t *testing.T) {
+	p, _ := NewPolicy(PolicyLRU, 1, 4)
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	p.Demote(0, 3)
+	if v := p.Victim(0, 0, 4); v != 3 {
+		t.Errorf("victim after Demote = %d, want 3", v)
+	}
+}
+
+func TestNRUBehaviour(t *testing.T) {
+	p, _ := NewPolicy(PolicyNRU, 1, 4)
+	// Fresh state: everything is a candidate; victim is first in range.
+	if v := p.Victim(0, 0, 4); v != 0 {
+		t.Errorf("fresh NRU victim = %d, want 0", v)
+	}
+	p.Touch(0, 0)
+	p.Touch(0, 1)
+	if v := p.Victim(0, 0, 4); v != 2 {
+		t.Errorf("NRU victim = %d, want 2", v)
+	}
+	// Touch everything: the last touch resets others, keeping progress.
+	p.Touch(0, 2)
+	p.Touch(0, 3)
+	v := p.Victim(0, 0, 4)
+	if v == 3 {
+		t.Errorf("NRU victim = most recently touched way")
+	}
+	// StackPos: recently used lands in the young half.
+	p2, _ := NewPolicy(PolicyNRU, 1, 8)
+	p2.Touch(0, 1)
+	if got := p2.StackPos(0, 1); got >= 4 {
+		t.Errorf("recently-used StackPos = %d, want < 4", got)
+	}
+	if got := p2.StackPos(0, 2); got < 4 {
+		t.Errorf("not-recently-used StackPos = %d, want >= 4", got)
+	}
+}
+
+func TestNRUVictimRangeAging(t *testing.T) {
+	p, _ := NewPolicy(PolicyNRU, 1, 4)
+	p.Touch(0, 2)
+	p.Touch(0, 3)
+	// Range [2,4) has no candidates; policy must age the range and return
+	// way 2 rather than escaping the range.
+	if v := p.Victim(0, 2, 4); v != 2 {
+		t.Errorf("aged NRU victim = %d, want 2", v)
+	}
+}
+
+func TestBTPLRUFollowsTree(t *testing.T) {
+	p, _ := NewPolicy(PolicyBTPLRU, 1, 4)
+	// Touch ways 0..3 in order: way 0 becomes the pseudo-LRU victim.
+	for w := 0; w < 4; w++ {
+		p.Touch(0, w)
+	}
+	if v := p.Victim(0, 0, 4); v != 0 {
+		t.Errorf("BT-pLRU victim = %d, want 0", v)
+	}
+	// Touch way 0: victim moves elsewhere.
+	p.Touch(0, 0)
+	if v := p.Victim(0, 0, 4); v == 0 {
+		t.Error("victim did not move after touch")
+	}
+}
+
+func TestBTPLRUDemote(t *testing.T) {
+	p, _ := NewPolicy(PolicyBTPLRU, 1, 8)
+	for w := 0; w < 8; w++ {
+		p.Touch(0, w)
+	}
+	p.Demote(0, 5)
+	if v := p.Victim(0, 0, 8); v != 5 {
+		t.Errorf("victim after Demote = %d, want 5", v)
+	}
+}
+
+func TestBTPLRUStackPosBounds(t *testing.T) {
+	p, _ := NewPolicy(PolicyBTPLRU, 1, 8)
+	f := func(touches []uint8) bool {
+		for _, tc := range touches {
+			p.Touch(0, int(tc)%8)
+		}
+		for w := 0; w < 8; w++ {
+			pos := p.StackPos(0, w)
+			if pos < 0 || pos > 7 {
+				return false
+			}
+		}
+		// The most recently touched way must estimate as MRU (0), and the
+		// tree-victim as a high position.
+		if len(touches) > 0 {
+			last := int(touches[len(touches)-1]) % 8
+			if p.StackPos(0, last) != 0 {
+				return false
+			}
+			if p.StackPos(0, p.Victim(0, 0, 8)) != 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoliciesAgreeOnSequentialFill: filling an empty 4-way set with 4
+// distinct ways then asking for a victim should name the first-filled way
+// under all three policies (they all approximate LRU).
+func TestPoliciesAgreeOnSequentialFill(t *testing.T) {
+	for name, p := range policies(t, 1, 4) {
+		for w := 0; w < 4; w++ {
+			p.Fill(0, w)
+		}
+		if v := p.Victim(0, 0, 4); v != 0 {
+			t.Errorf("%s: victim = %d, want 0", name, v)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package core implements the paper's contribution: CSALT's TLB-aware
+// dynamic cache partitioning.
+//
+// Each managed data cache (every private L2 and the shared L3) carries two
+// Mattson stack-distance profilers — one for data lines, one for TLB lines
+// (internal/cache). At every epoch boundary the controller evaluates the
+// marginal utility of every legal way split (Algorithms 1 and 2) and
+// installs the argmax:
+//
+//	MU(N)   = Σ_{i<N} D_LRU(i) + Σ_{j<K−N} TLB_LRU(j)            (CSALT-D)
+//	CWMU(N) = SDat·Σ_{i<N} D_LRU(i) + STr·Σ_{j<K−N} TLB_LRU(j)   (CSALT-CD)
+//
+// where the criticality weights SDat and STr are estimated at runtime from
+// hit-rate and latency counters (§3.2): a data hit in the cache saves the
+// DRAM round trip, a TLB hit additionally saves the L3-TLB lookup that a
+// miss would incur. The package also provides the static-partition baseline
+// (§5.1 footnote 6) and the DIP insertion-policy baseline (§5.2).
+package core
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Scheme selects how a managed cache is partitioned.
+type Scheme int
+
+// Partitioning schemes.
+const (
+	// None leaves the cache unpartitioned (conventional and POM-TLB
+	// baselines).
+	None Scheme = iota
+	// Static installs a fixed data/TLB split once and never moves it.
+	Static
+	// Dynamic is CSALT-D: unweighted marginal utility, re-evaluated each
+	// epoch.
+	Dynamic
+	// CriticalityDynamic is CSALT-CD: marginal utility scaled by the
+	// runtime criticality weights.
+	CriticalityDynamic
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case Static:
+		return "csalt-static"
+	case Dynamic:
+		return "csalt-d"
+	case CriticalityDynamic:
+		return "csalt-cd"
+	default:
+		return "none"
+	}
+}
+
+// WeightSource supplies the CSALT-CD criticality weights (SDat, STr) each
+// epoch. The memory system implements it from its performance counters;
+// see internal/sim.
+type WeightSource interface {
+	Weights() (sDat, sTr float64)
+}
+
+// BestPartition evaluates Algorithm 1 over profiler counters: it returns
+// the data-way count N in [nmin, ways-1] maximising the (weighted)
+// marginal utility. Ties keep the larger N: when a type's marginal
+// utility has saturated (no hits beyond some stack depth), the spare ways
+// belong to the data side, whose tail utility the sampled profilers may
+// under-observe.
+func BestPartition(p *cache.Profiler, ways, nmin int, sDat, sTr float64) (bestN int, bestMU float64) {
+	if nmin < 1 {
+		nmin = 1
+	}
+	bestN = -1
+	for n := nmin; n <= ways-1; n++ {
+		mu := sDat*float64(p.HitsUpTo(cache.Data, n)) +
+			sTr*float64(p.HitsUpTo(cache.Translation, ways-n))
+		if bestN < 0 || mu >= bestMU {
+			bestN, bestMU = n, mu
+		}
+	}
+	return bestN, bestMU
+}
+
+// Snapshot records one epoch's outcome for the Figure 9-style partition
+// traces.
+type Snapshot struct {
+	Epoch       uint64
+	DataWays    int
+	TLBFraction float64 // (K−N)/K: fraction of each set allocated to TLB
+	SDat, STr   float64
+	// RawBestN is the epoch's unfiltered argmax before the hysteresis
+	// filter; when it differs from DataWays the controller judged the
+	// move's utility gain too small to pay the repartitioning cost.
+	RawBestN int
+}
+
+// ControllerStats counts controller activity.
+type ControllerStats struct {
+	Epochs           stats.Counter
+	PartitionChanges stats.Counter
+}
+
+// Controller manages one cache's partition. Wire it to the cache's access
+// stream by calling OnAccess once per lookup; epochs elapse every EpochLen
+// accesses (the paper's default epoch is 256 K accesses, §5.3).
+type Controller struct {
+	cache    *cache.Cache
+	scheme   Scheme
+	epochLen uint64
+	nmin     int
+	weights  WeightSource
+
+	accesses uint64
+	epoch    uint64
+
+	recordHistory bool
+	history       []Snapshot
+
+	Stats ControllerStats
+}
+
+// Config configures a Controller.
+type Config struct {
+	Scheme   Scheme
+	EpochLen uint64 // accesses per epoch; default 256_000
+	NMin     int    // minimum data ways; default 1
+	StaticN  int    // data ways for Scheme == Static
+	Weights  WeightSource
+	// RecordHistory keeps per-epoch snapshots (Figure 9); off by default
+	// to avoid unbounded growth in long runs.
+	RecordHistory bool
+}
+
+// NewController attaches a controller to a cache. Dynamic schemes require
+// the cache to have been built with profilers.
+func NewController(c *cache.Cache, cfg Config) (*Controller, error) {
+	if cfg.Scheme == Dynamic || cfg.Scheme == CriticalityDynamic {
+		if c.Profiler() == nil {
+			return nil, fmt.Errorf("core: %s cache has no profiler for scheme %v", c.Name(), cfg.Scheme)
+		}
+	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = 256_000
+	}
+	if cfg.NMin < 1 {
+		cfg.NMin = 1
+	}
+	ctl := &Controller{
+		cache:         c,
+		scheme:        cfg.Scheme,
+		epochLen:      cfg.EpochLen,
+		nmin:          cfg.NMin,
+		weights:       cfg.Weights,
+		recordHistory: cfg.RecordHistory,
+	}
+	switch cfg.Scheme {
+	case None:
+		c.SetPartition(cache.Unpartitioned)
+	case Static:
+		n := cfg.StaticN
+		if n == 0 {
+			n = c.Ways() / 2
+		}
+		c.SetPartition(n)
+	default:
+		// Dynamic schemes start from an even split, the assumption the
+		// paper's exposition begins with (§3.1).
+		c.SetPartition(c.Ways() / 2)
+	}
+	return ctl, nil
+}
+
+// MustNewController panics on configuration errors.
+func MustNewController(c *cache.Cache, cfg Config) *Controller {
+	ctl, err := NewController(c, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ctl
+}
+
+// Scheme returns the controller's scheme.
+func (ctl *Controller) Scheme() Scheme { return ctl.scheme }
+
+// Epoch returns the number of completed epochs.
+func (ctl *Controller) Epoch() uint64 { return ctl.epoch }
+
+// History returns the recorded per-epoch snapshots.
+func (ctl *Controller) History() []Snapshot { return ctl.history }
+
+// OnAccess advances the epoch counter; at each boundary the partition is
+// re-evaluated. Call it once per cache access.
+func (ctl *Controller) OnAccess() {
+	if ctl.scheme != Dynamic && ctl.scheme != CriticalityDynamic {
+		return
+	}
+	ctl.accesses++
+	if ctl.accesses < ctl.epochLen {
+		return
+	}
+	ctl.accesses = 0
+	ctl.Repartition()
+}
+
+// Repartition evaluates the marginal utilities and installs the best
+// split; it is called automatically at epoch boundaries and exposed for
+// tests and forced decisions.
+func (ctl *Controller) Repartition() {
+	ctl.epoch++
+	ctl.Stats.Epochs.Inc()
+
+	sDat, sTr := 1.0, 1.0
+	if ctl.scheme == CriticalityDynamic && ctl.weights != nil {
+		sDat, sTr = ctl.weights.Weights()
+		if sDat <= 0 {
+			sDat = 1
+		}
+		if sTr <= 0 {
+			sTr = 1
+		}
+	}
+	prof := ctl.cache.Profiler()
+	// Low-signal guard: with too few profiled accesses the marginal
+	// utilities are noise and the argmax degenerates; hold the current
+	// partition and let the counters accumulate into the next epoch.
+	lowSignal := prof.Accesses(cache.Data)+prof.Accesses(cache.Translation) < uint64(16*ctl.cache.Ways())
+	rawBestN := ctl.cache.Partition()
+	if !lowSignal {
+		bestN, bestMU := BestPartition(prof, ctl.cache.Ways(), ctl.nmin, sDat, sTr)
+		rawBestN = bestN
+		// Hysteresis: repartitioning strands resident lines on the wrong
+		// side of the boundary, so a move must promise a real utility gain
+		// over the incumbent split before it is installed.
+		if cur := ctl.cache.Partition(); cur >= 1 && bestN != cur {
+			muCur := sDat*float64(prof.HitsUpTo(cache.Data, cur)) +
+				sTr*float64(prof.HitsUpTo(cache.Translation, ctl.cache.Ways()-cur))
+			if bestMU < muCur*1.03 {
+				bestN = cur
+			}
+		}
+		if bestN >= 1 && bestN != ctl.cache.Partition() {
+			ctl.Stats.PartitionChanges.Inc()
+			ctl.cache.SetPartition(bestN)
+		}
+		prof.Reset()
+	}
+	if ctl.recordHistory {
+		k := float64(ctl.cache.Ways())
+		ctl.history = append(ctl.history, Snapshot{
+			Epoch:       ctl.epoch,
+			DataWays:    ctl.cache.Partition(),
+			TLBFraction: (k - float64(ctl.cache.Partition())) / k,
+			SDat:        sDat,
+			STr:         sTr,
+			RawBestN:    rawBestN,
+		})
+	}
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/mem"
+)
+
+// profiledCache returns an 8-way profiled cache.
+func profiledCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	return cache.MustNew(cache.Config{
+		Name: "l2", SizeKB: 8, Ways: 8, Policy: cache.PolicyLRU, Profiled: true,
+	})
+}
+
+// feedProfiler injects synthetic stack-distance counts via real accesses:
+// it touches `hot` distinct lines of the given type round-robin so each
+// revisit hits at stack distance hot-1.
+func feedProfiler(c *cache.Cache, typ cache.LineType, hot, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < hot; i++ {
+			a := mem.PAddr(uint64(i) * uint64(c.Sets()) * mem.LineSize) // all in set 0
+			if !c.Lookup(a, typ, false) {
+				c.Fill(a, typ, false)
+			}
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	want := map[Scheme]string{None: "none", Static: "csalt-static", Dynamic: "csalt-d", CriticalityDynamic: "csalt-cd"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestBestPartitionPaperExample(t *testing.T) {
+	// Reproduce the §3.1 worked example (Figure 5) on an 8-way cache:
+	// D_LRU = [3,11,12,8,9,2,1,4] misses 10; TLB_LRU = [7,10,12,5,1,0,8,15] misses 1.
+	// The paper evaluates MU(4)=34, MU(5)=30, MU(6)=40, MU(7)=50 and picks P4 (N=7).
+	p := cache.NewInlineProfiler(8)
+	dLRU := []uint64{3, 11, 12, 8, 9, 2, 1, 4}
+	tLRU := []uint64{7, 10, 12, 5, 1, 0, 8, 15}
+	for pos, n := range dLRU {
+		for i := uint64(0); i < n; i++ {
+			p.RecordPos(cache.Data, pos)
+		}
+	}
+	for pos, n := range tLRU {
+		for i := uint64(0); i < n; i++ {
+			p.RecordPos(cache.Translation, pos)
+		}
+	}
+	// MU(N) per Algorithm 2 with these stacks (cumulative D =
+	// 3,14,26,34,43,45,46; cumulative T = 7,17,29,34,35,35,43):
+	// mu(4) = 34+34 = 68, mu(5) = 43+29 = 72, mu(6) = 45+17 = 62,
+	// mu(7) = 46+7 = 53 — so the argmax is N=5.
+	mu := func(n int) uint64 {
+		return p.HitsUpTo(cache.Data, n) + p.HitsUpTo(cache.Translation, 8-n)
+	}
+	if got := mu(4); got != 68 {
+		t.Fatalf("mu(4) = %d, want 68", got)
+	}
+	if got := mu(7); got != 53 {
+		t.Fatalf("mu(7) = %d, want 53", got)
+	}
+	bestN, bestMU := BestPartition(p, 8, 1, 1, 1)
+	if bestN != 5 || bestMU != 72 {
+		t.Errorf("BestPartition = %d (MU %.0f), want 5 (72)", bestN, bestMU)
+	}
+}
+
+func TestBestPartitionFollowsDemand(t *testing.T) {
+	// All value on the data side => max data ways; all on TLB side => min.
+	p := cache.NewInlineProfiler(8)
+	for i := 0; i < 100; i++ {
+		p.RecordPos(cache.Data, 6)
+	}
+	n, _ := BestPartition(p, 8, 1, 1, 1)
+	if n != 7 {
+		t.Errorf("data-heavy best N = %d, want 7", n)
+	}
+	p2 := cache.NewInlineProfiler(8)
+	for i := 0; i < 100; i++ {
+		p2.RecordPos(cache.Translation, 6)
+	}
+	n, _ = BestPartition(p2, 8, 1, 1, 1)
+	if n != 1 {
+		t.Errorf("tlb-heavy best N = %d, want 1", n)
+	}
+}
+
+func TestBestPartitionWeightsShiftDecision(t *testing.T) {
+	// Equal stacks; a heavy STr weight must pull ways toward TLB.
+	p := cache.NewInlineProfiler(8)
+	for pos := 0; pos < 8; pos++ {
+		for i := 0; i < 10; i++ {
+			p.RecordPos(cache.Data, pos)
+			p.RecordPos(cache.Translation, pos)
+		}
+	}
+	nEqual, _ := BestPartition(p, 8, 1, 1, 1)
+	nTLB, _ := BestPartition(p, 8, 1, 1, 8)
+	nData, _ := BestPartition(p, 8, 1, 8, 1)
+	if !(nTLB <= nEqual && nEqual <= nData) {
+		t.Errorf("weights not monotone: nTLB=%d nEqual=%d nData=%d", nTLB, nEqual, nData)
+	}
+	if nTLB == nData {
+		t.Error("weights had no effect")
+	}
+}
+
+// TestBestPartitionIsArgmax: brute-force comparison against direct MU
+// evaluation for arbitrary counters.
+func TestBestPartitionIsArgmax(t *testing.T) {
+	f := func(dRaw, tRaw [9]uint8, wD, wT uint8) bool {
+		p := cache.NewInlineProfiler(8)
+		for pos := 0; pos < 8; pos++ {
+			for i := 0; i < int(dRaw[pos]); i++ {
+				p.RecordPos(cache.Data, pos)
+			}
+			for i := 0; i < int(tRaw[pos]); i++ {
+				p.RecordPos(cache.Translation, pos)
+			}
+		}
+		sD, sT := float64(wD%4)+1, float64(wT%4)+1
+		gotN, gotMU := BestPartition(p, 8, 1, sD, sT)
+		// Reference argmax with the same larger-N tie-break.
+		bestN, bestMU := -1, -1.0
+		for n := 1; n <= 7; n++ {
+			mu := sD*float64(p.HitsUpTo(cache.Data, n)) + sT*float64(p.HitsUpTo(cache.Translation, 8-n))
+			if bestN < 0 || mu >= bestMU {
+				bestN, bestMU = n, mu
+			}
+		}
+		return gotN == bestN && gotMU == bestMU
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	unprofiled := cache.MustNew(cache.Config{Name: "u", SizeKB: 8, Ways: 8, Policy: cache.PolicyLRU})
+	if _, err := NewController(unprofiled, Config{Scheme: Dynamic}); err == nil {
+		t.Error("dynamic controller accepted unprofiled cache")
+	}
+	if _, err := NewController(unprofiled, Config{Scheme: None}); err != nil {
+		t.Errorf("None scheme rejected: %v", err)
+	}
+}
+
+func TestControllerInitialPartitions(t *testing.T) {
+	c := profiledCache(t)
+	MustNewController(c, Config{Scheme: None})
+	if c.Partition() != cache.Unpartitioned {
+		t.Error("None did not unpartition")
+	}
+	MustNewController(c, Config{Scheme: Static, StaticN: 6})
+	if c.Partition() != 6 {
+		t.Errorf("Static partition = %d", c.Partition())
+	}
+	MustNewController(c, Config{Scheme: Static})
+	if c.Partition() != 4 {
+		t.Errorf("default Static partition = %d, want ways/2", c.Partition())
+	}
+	MustNewController(c, Config{Scheme: Dynamic})
+	if c.Partition() != 4 {
+		t.Errorf("Dynamic initial partition = %d, want 4", c.Partition())
+	}
+}
+
+func TestControllerEpochRepartition(t *testing.T) {
+	c := profiledCache(t)
+	ctl := MustNewController(c, Config{Scheme: Dynamic, EpochLen: 100, RecordHistory: true})
+	// Generate TLB-heavy reuse: hot TLB lines revisited within 6 ways,
+	// data purely streaming (no reuse). Enough rounds to clear the
+	// controller's low-signal guard.
+	feedProfiler(c, cache.Translation, 6, 100)
+	for i := 0; i < 100; i++ {
+		ctl.OnAccess()
+	}
+	if ctl.Epoch() != 1 {
+		t.Fatalf("epochs = %d, want 1", ctl.Epoch())
+	}
+	if c.Partition() >= 4 {
+		t.Errorf("partition after TLB-heavy epoch = %d, want < 4", c.Partition())
+	}
+	if len(ctl.History()) != 1 {
+		t.Fatalf("history length = %d", len(ctl.History()))
+	}
+	snap := ctl.History()[0]
+	if snap.DataWays != c.Partition() || snap.TLBFraction <= 0.5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if ctl.Stats.Epochs.Value() != 1 {
+		t.Error("epoch counter not incremented")
+	}
+}
+
+func TestControllerNoneIgnoresAccesses(t *testing.T) {
+	c := profiledCache(t)
+	ctl := MustNewController(c, Config{Scheme: None, EpochLen: 10})
+	for i := 0; i < 100; i++ {
+		ctl.OnAccess()
+	}
+	if ctl.Epoch() != 0 {
+		t.Error("None scheme ran epochs")
+	}
+}
+
+type fixedWeights struct{ d, t float64 }
+
+func (w fixedWeights) Weights() (float64, float64) { return w.d, w.t }
+
+func TestControllerCriticalityUsesWeights(t *testing.T) {
+	// Balanced profiler demand; a large STr should push the partition
+	// toward TLB relative to CSALT-D.
+	build := func(scheme Scheme, w WeightSource) int {
+		c := profiledCache(t)
+		ctl := MustNewController(c, Config{Scheme: scheme, EpochLen: 1, Weights: w})
+		feedProfiler(c, cache.Data, 4, 5)
+		feedProfiler(c, cache.Translation, 4, 5)
+		ctl.OnAccess()
+		return c.Partition()
+	}
+	nD := build(Dynamic, nil)
+	nCD := build(CriticalityDynamic, fixedWeights{d: 1, t: 10})
+	if nCD > nD {
+		t.Errorf("CSALT-CD with heavy STr gave more data ways (%d) than CSALT-D (%d)", nCD, nD)
+	}
+}
+
+func TestControllerDefensiveWeights(t *testing.T) {
+	c := profiledCache(t)
+	ctl := MustNewController(c, Config{Scheme: CriticalityDynamic, EpochLen: 1, Weights: fixedWeights{d: -1, t: 0}})
+	feedProfiler(c, cache.Data, 2, 3)
+	ctl.OnAccess() // must not panic or install a degenerate partition
+	if p := c.Partition(); p < 1 || p > 7 {
+		t.Errorf("partition = %d out of range", p)
+	}
+}
+
+func TestDIPLeaderAssignment(t *testing.T) {
+	d := NewDIP()
+	if d.leader(0) != 1 || d.leader(32) != 1 {
+		t.Error("MRU leader sets wrong")
+	}
+	if d.leader(1) != -1 || d.leader(33) != -1 {
+		t.Error("BIP leader sets wrong")
+	}
+	if d.leader(2) != 0 {
+		t.Error("follower classified as leader")
+	}
+}
+
+func TestDIPTraining(t *testing.T) {
+	d := NewDIP()
+	start := d.PSEL()
+	// Misses in MRU leaders push PSEL up (voting BIP).
+	for i := 0; i < 100; i++ {
+		d.OnMiss(0)
+	}
+	if d.PSEL() <= start {
+		t.Error("PSEL did not rise on MRU-leader misses")
+	}
+	// Followers now use BIP: promotion is rare.
+	promoted := 0
+	for i := 0; i < 320; i++ {
+		if d.Promote(2) {
+			promoted++
+		}
+	}
+	if promoted != 10 {
+		t.Errorf("BIP promoted %d of 320, want 10 (1/32)", promoted)
+	}
+	// Misses in BIP leaders pull PSEL back down.
+	for i := 0; i < 2000; i++ {
+		d.OnMiss(1)
+	}
+	if d.PSEL() != 0 {
+		t.Errorf("PSEL = %d, want saturated 0", d.PSEL())
+	}
+	// Followers now use MRU insertion: always promote.
+	for i := 0; i < 10; i++ {
+		if !d.Promote(2) {
+			t.Fatal("MRU mode did not promote")
+		}
+	}
+}
+
+func TestDIPLeadersFixedPolicy(t *testing.T) {
+	d := NewDIP()
+	// MRU leaders always promote regardless of PSEL.
+	for i := 0; i < 100; i++ {
+		d.OnMiss(0)
+	}
+	if !d.Promote(0) {
+		t.Error("MRU leader did not promote")
+	}
+	// BIP leaders mostly do not.
+	promos := 0
+	for i := 0; i < 64; i++ {
+		if d.Promote(1) {
+			promos++
+		}
+	}
+	if promos != 2 {
+		t.Errorf("BIP leader promoted %d of 64, want 2", promos)
+	}
+}
+
+func TestDIPSaturation(t *testing.T) {
+	d := NewDIP()
+	for i := 0; i < 5000; i++ {
+		d.OnMiss(0)
+	}
+	if d.PSEL() != 1023 {
+		t.Errorf("PSEL = %d, want saturated 1023", d.PSEL())
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import "github.com/csalt-sim/csalt/internal/stats"
+
+// DIP implements the Dynamic Insertion Policy of Qureshi et al. that the
+// paper compares against (§5.2): set-dueling between conventional MRU
+// insertion (LIP would be LRU-insert-always; DIP duels MRU vs BIP). A few
+// leader sets always use MRU insertion, a few always use BIP (bimodal:
+// insert at LRU except every 1/32nd insertion), and a saturating PSEL
+// counter steers the follower sets toward whichever leader group misses
+// less. As in the paper, DIP examines all incoming traffic — it does not
+// distinguish data from TLB lines — which is exactly why it cannot exploit
+// the type information CSALT uses.
+type DIP struct {
+	dueling   uint64 // leader-set granularity: sets 0 mod dueling are MRU leaders, 1 mod dueling BIP leaders
+	psel      int
+	pselMax   int
+	bipEvery  uint64 // BIP promotes one in bipEvery insertions
+	bipCursor uint64
+
+	MRULeaderMisses stats.Counter
+	BIPLeaderMisses stats.Counter
+}
+
+// NewDIP builds a DIP engine with standard constants: 32 leader-set
+// spacing, 10-bit PSEL, 1/32 bimodal throttle.
+func NewDIP() *DIP {
+	return &DIP{dueling: 32, pselMax: 1023, psel: 512, bipEvery: 32}
+}
+
+// leader classifies a set: +1 MRU leader, -1 BIP leader, 0 follower.
+func (d *DIP) leader(set int) int {
+	switch uint64(set) % d.dueling {
+	case 0:
+		return 1
+	case 1:
+		return -1
+	}
+	return 0
+}
+
+// OnMiss records a miss in the given set, training PSEL when the set is a
+// leader. A miss in an MRU leader votes for BIP and vice versa.
+func (d *DIP) OnMiss(set int) {
+	switch d.leader(set) {
+	case 1:
+		d.MRULeaderMisses.Inc()
+		if d.psel < d.pselMax {
+			d.psel++
+		}
+	case -1:
+		d.BIPLeaderMisses.Inc()
+		if d.psel > 0 {
+			d.psel--
+		}
+	}
+}
+
+// Promote decides the insertion position for a fill into the given set:
+// true = MRU insertion, false = LRU insertion. Leaders follow their fixed
+// policy; followers follow PSEL.
+func (d *DIP) Promote(set int) bool {
+	useBIP := false
+	switch d.leader(set) {
+	case 1:
+		useBIP = false
+	case -1:
+		useBIP = true
+	default:
+		useBIP = d.psel > (d.pselMax+1)/2
+	}
+	if !useBIP {
+		return true
+	}
+	d.bipCursor++
+	return d.bipCursor%d.bipEvery == 0
+}
+
+// PSEL exposes the selector value for tests and diagnostics.
+func (d *DIP) PSEL() int { return d.psel }

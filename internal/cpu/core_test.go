@@ -1,0 +1,266 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/trace"
+)
+
+// fakeMem implements Translator and DataPath with fixed latencies.
+type fakeMem struct {
+	translateLat uint64
+	dataLat      uint64
+	translations int
+	accesses     int
+	lastASID     mem.ASID
+}
+
+func (f *fakeMem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int) (uint64, mem.PAddr, bool, error) {
+	f.translations++
+	f.lastASID = asid
+	return now + f.translateLat, mem.PAddr(v), f.translateLat > 0, nil
+}
+
+func (f *fakeMem) AccessData(now uint64, pa mem.PAddr, write bool, coreID int) uint64 {
+	f.accesses++
+	return now + f.dataLat
+}
+
+func recs(n int, nonMem uint32) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{Addr: mem.VAddr(i * 64), NonMem: nonMem}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil, &fakeMem{}, &fakeMem{}); err == nil {
+		t.Error("core with no contexts accepted")
+	}
+}
+
+func TestStepAdvancesClockAndCounters(t *testing.T) {
+	fm := &fakeMem{translateLat: 0, dataLat: 4}
+	c := MustNew(Config{CPIx100: 100}, []Context{{Source: trace.NewSliceSource(recs(3, 2)), ASID: 7}}, fm, fm)
+	for i := 0; i < 3; i++ {
+		ok, err := c.Step()
+		if err != nil || !ok {
+			t.Fatalf("step %d: %v %v", i, ok, err)
+		}
+	}
+	if got := c.Stats.Instructions.Value(); got != 9 {
+		t.Errorf("instructions = %d, want 9", got)
+	}
+	if got := c.Stats.MemRefs.Value(); got != 3 {
+		t.Errorf("memrefs = %d, want 3", got)
+	}
+	// 9 instructions at CPI 1.0 = 9 cycles (translation/data fully hidden).
+	if c.Cycle() != 9 {
+		t.Errorf("cycle = %d, want 9", c.Cycle())
+	}
+	if fm.lastASID != 7 {
+		t.Errorf("ASID = %d, want 7", fm.lastASID)
+	}
+	ok, _ := c.Step()
+	if ok {
+		t.Error("exhausted source still stepped")
+	}
+}
+
+func TestFractionalCPI(t *testing.T) {
+	fm := &fakeMem{}
+	c := MustNew(Config{CPIx100: 50}, []Context{{Source: trace.NewSliceSource(recs(4, 1))}}, fm, fm)
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	// 8 instructions at 0.5 CPI = 4 cycles exactly.
+	if c.Cycle() != 4 {
+		t.Errorf("cycle = %d, want 4", c.Cycle())
+	}
+}
+
+func TestTranslationBlocks(t *testing.T) {
+	fm := &fakeMem{translateLat: 100}
+	c := MustNew(Config{CPIx100: 100}, []Context{{Source: trace.NewSliceSource(recs(2, 0))}}, fm, fm)
+	c.Step()
+	if c.Cycle() < 100 {
+		t.Errorf("cycle = %d after 100-cycle translation, want >= 100", c.Cycle())
+	}
+	if c.Stats.TranslateStall.Value() < 100 {
+		t.Errorf("translate stall = %d", c.Stats.TranslateStall.Value())
+	}
+}
+
+func TestMLPWindowOverlapsLoads(t *testing.T) {
+	// With a window of 4 and 200-cycle loads, the first 4 loads issue
+	// back-to-back; the 5th stalls on the 1st's completion.
+	fm := &fakeMem{dataLat: 200}
+	c := MustNew(Config{CPIx100: 100, MLPWindow: 4},
+		[]Context{{Source: trace.NewSliceSource(recs(5, 0))}}, fm, fm)
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	if c.Cycle() >= 200 {
+		t.Fatalf("cycle = %d after 4 overlapped loads, want < 200", c.Cycle())
+	}
+	c.Step() // window full: must wait for the oldest load
+	if c.Cycle() < 200 {
+		t.Errorf("cycle = %d after window overflow, want >= 200", c.Cycle())
+	}
+	if c.Stats.DataStall.Value() == 0 {
+		t.Error("no data stall recorded")
+	}
+}
+
+func TestStoresArePosted(t *testing.T) {
+	fm := &fakeMem{dataLat: 500}
+	src := []trace.Record{{Kind: trace.Store, Addr: 0x40}}
+	c := MustNew(Config{CPIx100: 100}, []Context{{Source: trace.NewSliceSource(src)}}, fm, fm)
+	c.Step()
+	if c.Cycle() >= 500 {
+		t.Errorf("store blocked the core: cycle = %d", c.Cycle())
+	}
+	if c.Stats.Stores.Value() != 1 || c.Stats.Loads.Value() != 0 {
+		t.Error("store not counted")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	fm := &fakeMem{dataLat: 300}
+	c := MustNew(Config{CPIx100: 100, MLPWindow: 8},
+		[]Context{{Source: trace.NewSliceSource(recs(3, 0))}}, fm, fm)
+	for i := 0; i < 3; i++ {
+		c.Step()
+	}
+	if c.Cycle() >= 300 {
+		t.Fatal("loads did not overlap")
+	}
+	c.Drain()
+	if c.Cycle() < 300 {
+		t.Errorf("Drain left cycle at %d", c.Cycle())
+	}
+}
+
+func TestContextSwitchRotation(t *testing.T) {
+	fm := &fakeMem{}
+	a := trace.NewLoopSource([]trace.Record{{Addr: 0x1000, ASID: 1}})
+	b := trace.NewLoopSource([]trace.Record{{Addr: 0x2000, ASID: 2}})
+	c := MustNew(Config{CPIx100: 100, SwitchInterval: 10},
+		[]Context{{Source: a, ASID: 1}, {Source: b, ASID: 2}}, fm, fm)
+	seen := map[mem.ASID]bool{}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		seen[fm.lastASID] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("contexts not rotated: %v", seen)
+	}
+	if c.Stats.ContextSwitches.Value() == 0 {
+		t.Error("no context switches recorded")
+	}
+	// Roughly one switch per 10 cycles over ~100 cycles.
+	if sw := c.Stats.ContextSwitches.Value(); sw < 5 || sw > 20 {
+		t.Errorf("switches = %d, want ~10", sw)
+	}
+}
+
+func TestNoSwitchWithSingleContext(t *testing.T) {
+	fm := &fakeMem{}
+	c := MustNew(Config{CPIx100: 100, SwitchInterval: 5},
+		[]Context{{Source: trace.NewLoopSource(recs(1, 0)), ASID: 1}}, fm, fm)
+	for i := 0; i < 50; i++ {
+		c.Step()
+	}
+	if c.Stats.ContextSwitches.Value() != 0 {
+		t.Error("single-context core switched")
+	}
+	if c.CurrentContext() != 0 {
+		t.Error("context index moved")
+	}
+}
+
+func TestIPC(t *testing.T) {
+	fm := &fakeMem{}
+	c := MustNew(Config{CPIx100: 100}, []Context{{Source: trace.NewSliceSource(recs(10, 9))}}, fm, fm)
+	if c.IPC() != 0 {
+		t.Error("IPC before any work nonzero")
+	}
+	for i := 0; i < 10; i++ {
+		c.Step()
+	}
+	// 100 instructions in 100 cycles = IPC 1.0.
+	if got := c.IPC(); got < 0.99 || got > 1.01 {
+		t.Errorf("IPC = %v, want ~1.0", got)
+	}
+	if c.ID() != 0 {
+		t.Error("ID wrong")
+	}
+}
+
+func TestFourContextRotation(t *testing.T) {
+	fm := &fakeMem{}
+	var ctxs []Context
+	for i := 1; i <= 4; i++ {
+		ctxs = append(ctxs, Context{
+			Source: trace.NewLoopSource([]trace.Record{{Addr: mem.VAddr(i) << 12}}),
+			ASID:   mem.ASID(i),
+		})
+	}
+	c := MustNew(Config{CPIx100: 100, SwitchInterval: 8}, ctxs, fm, fm)
+	seen := map[mem.ASID]bool{}
+	for i := 0; i < 200; i++ {
+		c.Step()
+		seen[fm.lastASID] = true
+	}
+	for i := 1; i <= 4; i++ {
+		if !seen[mem.ASID(i)] {
+			t.Errorf("context %d never ran", i)
+		}
+	}
+}
+
+func TestSwitchSkipsMultipleQuanta(t *testing.T) {
+	// A single long stall can cross several switch boundaries; the
+	// rotation must catch up rather than fall permanently behind.
+	fm := &fakeMem{translateLat: 1000}
+	a := trace.NewLoopSource([]trace.Record{{Addr: 0x1000}})
+	b := trace.NewLoopSource([]trace.Record{{Addr: 0x2000}})
+	c := MustNew(Config{CPIx100: 100, SwitchInterval: 100},
+		[]Context{{Source: a, ASID: 1}, {Source: b, ASID: 2}}, fm, fm)
+	for i := 0; i < 20; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After 20 steps of ~1000 cycles each, ~200 quanta have passed.
+	if got := c.Stats.ContextSwitches.Value(); got < 100 {
+		t.Errorf("switches = %d, want catch-up rotation", got)
+	}
+}
+
+func TestTranslateErrorPropagates(t *testing.T) {
+	fm := &failingMem{}
+	c := MustNew(Config{CPIx100: 100},
+		[]Context{{Source: trace.NewLoopSource([]trace.Record{{Addr: 0x1000}})}}, fm, fm)
+	if _, err := c.Step(); err == nil {
+		t.Error("translation error swallowed")
+	}
+}
+
+// failingMem errors on every translation.
+type failingMem struct{}
+
+func (f *failingMem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int) (uint64, mem.PAddr, bool, error) {
+	return 0, 0, false, errFail
+}
+
+func (f *failingMem) AccessData(now uint64, pa mem.PAddr, write bool, coreID int) uint64 {
+	return now
+}
+
+var errFail = fmt.Errorf("injected translation failure")

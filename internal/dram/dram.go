@@ -1,0 +1,163 @@
+// Package dram models the two DRAM devices of the paper's platform
+// (Table 2): the off-chip DDR4-2133 main memory and the die-stacked DRAM
+// that hosts the 16 MB POM-TLB. The model is a bank/row-buffer timing
+// model: each bank keeps an open row and a busy-until time; an access pays
+// CAS on a row hit, RCD+CAS on an empty row, and RP+RCD+CAS on a row
+// conflict, plus the burst transfer time for one 64-byte line, all
+// converted to CPU cycles. Queueing is captured by bank busy times.
+package dram
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Config describes one DRAM device.
+type Config struct {
+	Name     string
+	BusMHz   uint64 // bus clock (data rate is double; see BurstBeats)
+	BusBytes uint64 // bus width in bytes per beat
+	RowBytes uint64 // row-buffer size
+	Banks    int    // concurrently open rows
+	TCas     uint64 // in bus cycles
+	TRcd     uint64
+	TRp      uint64
+	CPUMHz   uint64 // CPU clock, for cycle conversion
+}
+
+// DDR4 returns the paper's off-chip DDR4-2133 configuration. The bank
+// count models a dual-rank DIMM's rank x bank-group x bank parallelism
+// (2 ranks x 4 groups x 8 banks exposed as 64 independently schedulable
+// row buffers).
+func DDR4(cpuMHz uint64) Config {
+	return Config{
+		Name: "ddr4-2133", BusMHz: 1066, BusBytes: 8, RowBytes: 2048,
+		Banks: 64, TCas: 14, TRcd: 14, TRp: 14, CPUMHz: cpuMHz,
+	}
+}
+
+// DieStacked returns the paper's die-stacked DRAM configuration (the
+// POM-TLB's home): multiple narrow channels with high internal bank
+// parallelism.
+func DieStacked(cpuMHz uint64) Config {
+	return Config{
+		Name: "die-stacked", BusMHz: 1000, BusBytes: 16, RowBytes: 2048,
+		Banks: 32, TCas: 11, TRcd: 11, TRp: 11, CPUMHz: cpuMHz,
+	}
+}
+
+// Stats summarises a device's activity.
+type Stats struct {
+	Accesses     stats.Counter
+	Writes       stats.Counter
+	RowHits      stats.Counter
+	RowEmpty     stats.Counter
+	RowConflicts stats.Counter
+	Latency      stats.RunningMean // read request-to-done, CPU cycles
+}
+
+// bank tracks one bank's open row and availability.
+type bank struct {
+	openRow   uint64
+	hasRow    bool
+	busyUntil uint64
+}
+
+// DRAM is one timed memory device.
+type DRAM struct {
+	cfg   Config
+	banks []bank
+
+	latHit      uint64 // CPU cycles: CAS + burst
+	latEmpty    uint64 // RCD + CAS + burst
+	latConflict uint64 // RP + RCD + CAS + burst
+	latWrite    uint64 // bank occupancy per buffered write (burst only)
+
+	Stats Stats
+}
+
+// New builds a device from cfg.
+func New(cfg Config) (*DRAM, error) {
+	if cfg.Banks <= 0 || cfg.BusMHz == 0 || cfg.CPUMHz == 0 || cfg.BusBytes == 0 || cfg.RowBytes == 0 {
+		return nil, fmt.Errorf("dram %s: incomplete configuration %+v", cfg.Name, cfg)
+	}
+	d := &DRAM{cfg: cfg, banks: make([]bank, cfg.Banks)}
+	toCPU := func(busCycles uint64) uint64 {
+		return (busCycles*cfg.CPUMHz + cfg.BusMHz - 1) / cfg.BusMHz
+	}
+	// One 64 B line moves in LineSize/(2*BusBytes) bus cycles (DDR: two
+	// beats per bus cycle).
+	burst := uint64(mem.LineSize) / (2 * cfg.BusBytes)
+	if burst == 0 {
+		burst = 1
+	}
+	d.latHit = toCPU(cfg.TCas + burst)
+	d.latEmpty = toCPU(cfg.TRcd + cfg.TCas + burst)
+	d.latConflict = toCPU(cfg.TRp + cfg.TRcd + cfg.TCas + burst)
+	d.latWrite = toCPU(burst)
+	if d.latWrite == 0 {
+		d.latWrite = 1
+	}
+	return d, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *DRAM {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the device name.
+func (d *DRAM) Name() string { return d.cfg.Name }
+
+// Access issues one line read/write at CPU cycle now and returns the cycle
+// at which the data is available. Writes model a buffered write queue:
+// the controller batches them and drains during idle slots, so a write
+// occupies its bank only for the data burst and never pays activation
+// delays on the requester's critical path.
+func (d *DRAM) Access(now uint64, addr mem.PAddr, write bool) uint64 {
+	row := uint64(addr) / d.cfg.RowBytes
+	b := &d.banks[row%uint64(len(d.banks))]
+
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	d.Stats.Accesses.Inc()
+	if write {
+		// Buffered write: burst-time bank occupancy, row state untouched
+		// (the write queue drains opportunistically).
+		b.busyUntil = start + d.latWrite
+		d.Stats.Writes.Inc()
+		return now
+	}
+	var lat uint64
+	switch {
+	case b.hasRow && b.openRow == row:
+		lat = d.latHit
+		d.Stats.RowHits.Inc()
+	case !b.hasRow:
+		lat = d.latEmpty
+		d.Stats.RowEmpty.Inc()
+	default:
+		lat = d.latConflict
+		d.Stats.RowConflicts.Inc()
+	}
+	done := start + lat
+	b.busyUntil = done
+	b.openRow, b.hasRow = row, true
+	d.Stats.Latency.Observe(float64(done - now))
+	return done
+}
+
+// RowHitLatency exposes the device's row-hit latency in CPU cycles; the
+// CSALT-CD criticality estimator uses it as the DRAM cost scale.
+func (d *DRAM) RowHitLatency() uint64 { return d.latHit }
+
+// RowConflictLatency exposes the worst-case (precharge) latency.
+func (d *DRAM) RowConflictLatency() uint64 { return d.latConflict }

@@ -1,0 +1,153 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for empty config")
+	}
+	if _, err := New(DDR4(4000)); err != nil {
+		t.Errorf("DDR4 preset rejected: %v", err)
+	}
+	if _, err := New(DieStacked(4000)); err != nil {
+		t.Errorf("DieStacked preset rejected: %v", err)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	if !(d.latHit < d.latEmpty && d.latEmpty < d.latConflict) {
+		t.Errorf("latency ordering broken: hit=%d empty=%d conflict=%d",
+			d.latHit, d.latEmpty, d.latConflict)
+	}
+	// Sanity: DDR4-2133 row hit ~ (14+4)/1066MHz = ~17ns = ~68 CPU cycles
+	// at 4 GHz.
+	if d.latHit < 40 || d.latHit > 100 {
+		t.Errorf("DDR4 row-hit latency = %d CPU cycles, expected ~68", d.latHit)
+	}
+}
+
+func TestDieStackedFasterThanDDR4(t *testing.T) {
+	ds := MustNew(DieStacked(4000))
+	dd := MustNew(DDR4(4000))
+	if ds.RowHitLatency() >= dd.RowHitLatency() {
+		t.Errorf("die-stacked (%d) not faster than DDR4 (%d)",
+			ds.RowHitLatency(), dd.RowHitLatency())
+	}
+	if ds.RowConflictLatency() >= dd.RowConflictLatency() {
+		t.Error("die-stacked conflict latency not faster")
+	}
+}
+
+func TestRowBufferHit(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	a := mem.PAddr(0x1000)
+	t1 := d.Access(0, a, false)
+	t2 := d.Access(t1, a+64, false) // same 2KB row
+	if t2-t1 != d.latHit {
+		t.Errorf("second access latency = %d, want row hit %d", t2-t1, d.latHit)
+	}
+	if d.Stats.RowHits.Value() != 1 {
+		t.Errorf("row hits = %d, want 1", d.Stats.RowHits.Value())
+	}
+	if d.Stats.RowEmpty.Value() != 1 {
+		t.Errorf("row empty = %d, want 1", d.Stats.RowEmpty.Value())
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	banks := uint64(len(d.banks))
+	a := mem.PAddr(0)
+	b := mem.PAddr(d.cfg.RowBytes * banks) // same bank, different row
+	t1 := d.Access(0, a, false)
+	t2 := d.Access(t1, b, false)
+	if t2-t1 != d.latConflict {
+		t.Errorf("conflict latency = %d, want %d", t2-t1, d.latConflict)
+	}
+	if d.Stats.RowConflicts.Value() != 1 {
+		t.Errorf("conflicts = %d, want 1", d.Stats.RowConflicts.Value())
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	a := mem.PAddr(0x2000)
+	// Two simultaneous requests to the same bank: the second queues.
+	t1 := d.Access(100, a, false)
+	t2 := d.Access(100, a+64, false)
+	if t2 <= t1 {
+		t.Errorf("queued access done at %d, not after first (%d)", t2, t1)
+	}
+	if t2-t1 != d.latHit {
+		t.Errorf("queued row-hit spacing = %d, want %d", t2-t1, d.latHit)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	a := mem.PAddr(0)
+	b := mem.PAddr(d.cfg.RowBytes) // next bank
+	t1 := d.Access(0, a, false)
+	t2 := d.Access(0, b, false)
+	if t1 != t2 {
+		t.Errorf("independent banks did not overlap: %d vs %d", t1, t2)
+	}
+}
+
+func TestWriteIsPosted(t *testing.T) {
+	d := MustNew(DDR4(4000))
+	if done := d.Access(50, 0x1000, true); done != 50 {
+		t.Errorf("posted write returned %d, want request time 50", done)
+	}
+	// But the bank is busy: a following read waits.
+	r := d.Access(50, 0x1040, false)
+	if r <= 50+d.latHit {
+		t.Errorf("read after write completed too early: %d", r)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := MustNew(DieStacked(4000))
+	for i := 0; i < 10; i++ {
+		d.Access(uint64(i)*1000, mem.PAddr(i*64), false)
+	}
+	if d.Stats.Accesses.Value() != 10 {
+		t.Errorf("accesses = %d", d.Stats.Accesses.Value())
+	}
+	if d.Stats.Latency.N() != 10 {
+		t.Errorf("latency samples = %d", d.Stats.Latency.N())
+	}
+	if d.Stats.Latency.Mean() <= 0 {
+		t.Error("mean latency not positive")
+	}
+}
+
+// TestTimeMonotonicPerBank: completions at one bank never go backwards,
+// for any request pattern.
+func TestTimeMonotonicPerBank(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		d := MustNew(DDR4(4000))
+		lastPerBank := map[uint64]uint64{}
+		now := uint64(0)
+		for _, r := range reqs {
+			now += uint64(r % 97)
+			addr := mem.PAddr(uint64(r) * 64)
+			done := d.Access(now, addr, false)
+			bankID := (uint64(addr) / d.cfg.RowBytes) % uint64(len(d.banks))
+			if done < now || done <= lastPerBank[bankID] {
+				return false
+			}
+			lastPerBank[bankID] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/stats"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// ablationMixes is a representative subset (TLB-heavy, phased, and
+// cache-friendly) used by the ablation sweeps to keep them affordable.
+var ablationMixes = []workload.Mix{
+	{ID: "ccomp", VM1: workload.CComp, VM2: workload.CComp},
+	{ID: "gups", VM1: workload.GUPS, VM2: workload.GUPS},
+	{ID: "can_stream", VM1: workload.Canneal, VM2: workload.StreamCluster},
+}
+
+func init() {
+	register(Experiment{
+		ID:         "ablation-static",
+		Title:      "Static vs dynamic partitioning",
+		PaperClaim: "footnote 6: no single static split performs well across workloads",
+		Run:        runAblationStatic,
+	})
+	register(Experiment{
+		ID:         "ablation-policy",
+		Title:      "Replacement policy and profiler mode (3.4)",
+		PaperClaim: "pseudo-LRU estimates cost only minor performance vs true LRU",
+		Run:        runAblationPolicy,
+	})
+	register(Experiment{
+		ID:         "ablation-psc",
+		Title:      "Page-walk cost with and without MMU (PSC) caches",
+		PaperClaim: "PSCs shorten walks substantially (background, 2.1)",
+		Run:        runAblationPSC,
+	})
+	register(Experiment{
+		ID:         "ablation-pom-placement",
+		Title:      "POM-TLB in die-stacked DRAM vs off-chip DDR4",
+		PaperClaim: "the die-stacked placement is part of POM-TLB's advantage",
+		Run:        runAblationPOMPlacement,
+	})
+	register(Experiment{
+		ID:         "ablation-5level",
+		Title:      "4-level vs 5-level page tables",
+		PaperClaim: "5-level paging lengthens walks, strengthening CSALT's motivation (1)",
+		Run:        runAblation5Level,
+	})
+	register(Experiment{
+		ID:         "ablation-sharedtlb",
+		Title:      "Private vs shared L2 TLB",
+		PaperClaim: "shared last-level TLBs are orthogonal related work (6); CSALT layers on either",
+		Run:        runAblationSharedTLB,
+	})
+	register(Experiment{
+		ID:         "ablation-hugepages",
+		Title:      "Native 4 KB vs 2 MB (THP) backing",
+		PaperClaim: "huge pages enlarge TLB reach; orthogonal to CSALT (6)",
+		Run:        runAblationHugePages,
+	})
+}
+
+func runAblationStatic(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: static splits vs CSALT-D (normalized to POM-TLB)",
+		"mix", "static 25% data", "static 50%", "static 75%", "csalt-d")
+	for _, mix := range ablationMixes {
+		base := r.Scale.BaseConfig()
+		base.Mix = mix
+		pomRes, err := r.Run(pomTLB(base))
+		if err != nil {
+			return nil, err
+		}
+		norm := func(res *sim.Results) float64 { return res.IPCGeomean / pomRes.IPCGeomean }
+		var vals []interface{}
+		vals = append(vals, mix.ID)
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			cfg := base
+			cfg.Org = sim.OrgPOM
+			cfg.Scheme = core.Static
+			cfg.StaticDataFrac = frac
+			res, err := r.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, norm(res))
+		}
+		dRes, err := r.Run(csaltD(base))
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, norm(dRes))
+		t.AddRow(vals...)
+	}
+	return t, nil
+}
+
+func runAblationPolicy(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: CSALT-CD under replacement policies (normalized to LRU+ATD)",
+		"mix", "lru+atd", "nru inline", "bt-plru inline")
+	for _, mix := range ablationMixes {
+		base := csaltCD(r.Scale.BaseConfig())
+		base.Mix = mix
+		ref, err := r.Run(base)
+		if err != nil {
+			return nil, err
+		}
+		nru := base
+		nru.Policy = cache.PolicyNRU
+		nru.InlineProfiler = true
+		nruRes, err := r.Run(nru)
+		if err != nil {
+			return nil, err
+		}
+		bt := base
+		bt.Policy = cache.PolicyBTPLRU
+		bt.InlineProfiler = true
+		btRes, err := r.Run(bt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mix.ID, 1.0, nruRes.IPCGeomean/ref.IPCGeomean, btRes.IPCGeomean/ref.IPCGeomean)
+	}
+	return t, nil
+}
+
+func runAblationPSC(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: walk cycles per L2 TLB miss, PSC on vs off (virtualized, conventional)",
+		"benchmark", "psc on", "psc off", "inflation")
+	for _, mix := range workload.Singles() {
+		on := conventional(r.Scale.BaseConfig())
+		on.Mix = mix
+		on.ContextsPerCore = 1
+		onRes, err := r.Run(on)
+		if err != nil {
+			return nil, err
+		}
+		off := on
+		off.DisablePSC = true
+		offRes, err := r.Run(off)
+		if err != nil {
+			return nil, err
+		}
+		infl := 0.0
+		if onRes.WalkCyclesPerL2Miss > 0 {
+			infl = offRes.WalkCyclesPerL2Miss / onRes.WalkCyclesPerL2Miss
+		}
+		t.AddRow(mix.ID, onRes.WalkCyclesPerL2Miss, offRes.WalkCyclesPerL2Miss, infl)
+	}
+	return t, nil
+}
+
+func runAblationPOMPlacement(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: POM-TLB placement (CSALT-CD IPC, off-chip normalized to die-stacked)",
+		"mix", "die-stacked", "off-chip DDR4")
+	for _, mix := range ablationMixes {
+		ds := csaltCD(r.Scale.BaseConfig())
+		ds.Mix = mix
+		dsRes, err := r.Run(ds)
+		if err != nil {
+			return nil, err
+		}
+		oc := ds
+		oc.POMOffChip = true
+		ocRes, err := r.Run(oc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mix.ID, 1.0, ocRes.IPCGeomean/dsRes.IPCGeomean)
+	}
+	return t, nil
+}
+
+func runAblation5Level(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: page-table depth (virtualized walk cycles per L2 TLB miss)",
+		"mix", "4-level", "5-level", "inflation")
+	for _, mix := range ablationMixes {
+		l4 := conventional(r.Scale.BaseConfig())
+		l4.Mix = mix
+		l4Res, err := r.Run(l4)
+		if err != nil {
+			return nil, err
+		}
+		l5 := l4
+		l5.PageTableLevels = 5
+		l5Res, err := r.Run(l5)
+		if err != nil {
+			return nil, err
+		}
+		infl := 0.0
+		if l4Res.WalkCyclesPerL2Miss > 0 {
+			infl = l5Res.WalkCyclesPerL2Miss / l4Res.WalkCyclesPerL2Miss
+		}
+		t.AddRow(mix.ID, l4Res.WalkCyclesPerL2Miss, l5Res.WalkCyclesPerL2Miss, infl)
+	}
+	return t, nil
+}
+
+func runAblationSharedTLB(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: shared L2 TLB (CSALT-CD IPC, normalized to private L2 TLBs)",
+		"mix", "private", "shared", "shared L2 TLB MPKI")
+	for _, mix := range ablationMixes {
+		priv := csaltCD(r.Scale.BaseConfig())
+		priv.Mix = mix
+		pRes, err := r.Run(priv)
+		if err != nil {
+			return nil, err
+		}
+		shared := priv
+		shared.SharedL2TLB = true
+		sRes, err := r.Run(shared)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mix.ID, 1.0, sRes.IPCGeomean/pRes.IPCGeomean, sRes.L2TLBMPKI)
+	}
+	return t, nil
+}
+
+func runAblationHugePages(r *Runner) (*stats.Table, error) {
+	t := stats.NewTable("Ablation: native 4 KB vs 2 MB pages (L2 TLB MPKI)",
+		"mix", "4K MPKI", "2M MPKI", "reduction")
+	for _, mix := range ablationMixes {
+		small := conventional(r.Scale.BaseConfig())
+		small.Mix = mix
+		small.Virtualized = false
+		sRes, err := r.Run(small)
+		if err != nil {
+			return nil, err
+		}
+		huge := small
+		huge.HugePages = true
+		hRes, err := r.Run(huge)
+		if err != nil {
+			return nil, err
+		}
+		red := 0.0
+		if sRes.L2TLBMPKI > 0 {
+			red = 1 - hRes.L2TLBMPKI/sRes.L2TLBMPKI
+		}
+		t.AddRow(mix.ID, sRes.L2TLBMPKI, hRes.L2TLBMPKI, red)
+	}
+	return t, nil
+}

@@ -1,0 +1,176 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§5) plus the ablations DESIGN.md calls out. Each experiment
+// assembles the simulator configurations behind one paper artifact, runs
+// them at a chosen scale, and renders the same rows/series the paper
+// reports.
+//
+// Scales: the paper simulates 10 B instructions per workload on 8 cores;
+// the "small" scale keeps the 8-core machine but shortens runs and shrinks
+// footprints proportionally (TLB-to-footprint pressure is preserved), and
+// "tiny" is for the test suite. Absolute numbers shift with scale; the
+// shapes — who wins, by roughly what factor, where the crossovers are —
+// are the reproduction target (see EXPERIMENTS.md).
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Scale bundles the run-control knobs of one fidelity level.
+type Scale struct {
+	Name          string
+	Cores         int
+	WorkloadScale float64
+	MaxRefs       uint64 // per core, total including warmup
+	Warmup        uint64
+	SwitchCycles  uint64 // the "10 ms" analogue at this scale
+	EpochLen      uint64 // the "256 K accesses" analogue
+	OccEvery      uint64
+}
+
+// The provided scales.
+var (
+	// Tiny: seconds-fast, for tests. Two cores only.
+	Tiny = Scale{
+		Name: "tiny", Cores: 2, WorkloadScale: 0.1,
+		MaxRefs: 40_000, Warmup: 8_000,
+		SwitchCycles: 60_000, EpochLen: 4_000, OccEvery: 10_000,
+	}
+	// Small: the default for benches and cmd/experiments. Full 8-core
+	// machine, scaled footprints and intervals.
+	Small = Scale{
+		Name: "small", Cores: 8, WorkloadScale: 0.25,
+		MaxRefs: 150_000, Warmup: 30_000,
+		SwitchCycles: 300_000, EpochLen: 24_000, OccEvery: 40_000,
+	}
+	// Paper: full calibrated footprints, long runs, the paper's epoch of
+	// 256 K accesses and a proportionally long switch interval. Minutes
+	// per experiment.
+	Paper = Scale{
+		Name: "paper", Cores: 8, WorkloadScale: 1.0,
+		MaxRefs: 1_500_000, Warmup: 250_000,
+		SwitchCycles: 4_000_000, EpochLen: 256_000, OccEvery: 200_000,
+	}
+)
+
+// ScaleByName resolves "tiny", "small" or "paper".
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "paper":
+		return Paper, nil
+	}
+	return Scale{}, fmt.Errorf("experiment: unknown scale %q (tiny|small|paper)", name)
+}
+
+// BaseConfig expands a scale into a simulator configuration; experiments
+// mutate the copy.
+func (s Scale) BaseConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = s.Cores
+	cfg.Scale = s.WorkloadScale
+	cfg.MaxRefsPerCore = s.MaxRefs
+	cfg.WarmupRefs = s.Warmup
+	cfg.SwitchIntervalCycles = s.SwitchCycles
+	cfg.EpochLen = s.EpochLen
+	cfg.OccupancyScanEvery = s.OccEvery
+	return cfg
+}
+
+// Runner executes simulator configurations with memoisation: several
+// figures share identical baseline runs (e.g. the POM-TLB runs of Figures
+// 7, 8, 10 and 11), and the cache makes a full sweep pay for each
+// configuration once.
+type Runner struct {
+	Scale Scale
+	cache map[sim.Config]*sim.Results
+	// Runs counts actual (non-memoised) simulations, for reporting.
+	Runs int
+}
+
+// NewRunner builds a Runner at the given scale.
+func NewRunner(s Scale) *Runner {
+	return &Runner{Scale: s, cache: make(map[sim.Config]*sim.Results)}
+}
+
+// Run executes (or recalls) one configuration.
+func (r *Runner) Run(cfg sim.Config) (*sim.Results, error) {
+	if res, ok := r.cache[cfg]; ok {
+		return res, nil
+	}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	r.cache[cfg] = res
+	r.Runs++
+	return res, nil
+}
+
+// Experiment is one paper artifact reproduction.
+type Experiment struct {
+	ID         string // "fig7", "tab1", "ablation-static", ...
+	Title      string
+	PaperClaim string // the headline shape the paper reports
+	Run        func(r *Runner) (*stats.Table, error)
+}
+
+// registry is populated by the figures/ablations files' init-style
+// builders below.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiment: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (figN numerically, then
+// ablations, then tables).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// less orders fig1 < fig3 < fig10 correctly.
+func less(a, b string) bool {
+	na, oka := figNum(a)
+	nb, okb := figNum(b)
+	if oka && okb {
+		return na < nb
+	}
+	if oka != okb {
+		return oka // figures before everything else
+	}
+	return a < b
+}
+
+func figNum(id string) (int, bool) {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n, true
+	}
+	return 0, false
+}
+
+// ByID resolves one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}

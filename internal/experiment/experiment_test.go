@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if s, err := ScaleByName(""); err != nil || s.Name != "small" {
+		t.Errorf("default scale = %+v, %v", s, err)
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestBaseConfigAppliesScale(t *testing.T) {
+	cfg := Tiny.BaseConfig()
+	if cfg.Cores != Tiny.Cores || cfg.MaxRefsPerCore != Tiny.MaxRefs ||
+		cfg.EpochLen != Tiny.EpochLen || cfg.Scale != Tiny.WorkloadScale {
+		t.Errorf("BaseConfig did not apply scale: %+v", cfg)
+	}
+	cfg.Mix = workload.Mix{ID: "t", VM1: workload.GUPS, VM2: workload.GUPS}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("scale config invalid: %v", err)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "tab1", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16",
+		"ablation-static", "ablation-policy", "ablation-psc",
+		"ablation-pom-placement", "ablation-5level", "ablation-hugepages",
+		"ablation-sharedtlb",
+	}
+	for _, id := range want {
+		e, ok := ByID(id)
+		if !ok {
+			t.Errorf("experiment %q missing", id)
+			continue
+		}
+		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", id, e)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	ids := []string{}
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	// Figures come first, numerically ordered.
+	var figs []int
+	for _, id := range ids {
+		if strings.HasPrefix(id, "fig") {
+			n, err := strconv.Atoi(id[3:])
+			if err != nil {
+				t.Fatalf("bad fig id %q", id)
+			}
+			figs = append(figs, n)
+		}
+	}
+	for i := 1; i < len(figs); i++ {
+		if figs[i] < figs[i-1] {
+			t.Fatalf("figures out of order: %v", ids)
+		}
+	}
+}
+
+func TestRunnerMemoises(t *testing.T) {
+	r := NewRunner(Tiny)
+	cfg := Tiny.BaseConfig()
+	cfg.Cores = 1
+	cfg.MaxRefsPerCore = 5_000
+	cfg.WarmupRefs = 1_000
+	cfg.Mix = workload.Mix{ID: "t", VM1: workload.StreamCluster, VM2: workload.StreamCluster}
+	a, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs != 1 {
+		t.Fatalf("Runs = %d after first run", r.Runs)
+	}
+	b, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs != 1 {
+		t.Errorf("identical config re-simulated (Runs = %d)", r.Runs)
+	}
+	if a != b {
+		t.Error("memoised result differs")
+	}
+	cfg.Seed++
+	if _, err := r.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if r.Runs != 2 {
+		t.Errorf("changed config not re-simulated (Runs = %d)", r.Runs)
+	}
+}
+
+func TestExperimentsRunAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-scale experiment sweep")
+	}
+	// A sub-tiny scale: just enough to exercise every experiment's plumbing.
+	micro := Scale{
+		Name: "micro", Cores: 1, WorkloadScale: 0.05,
+		MaxRefs: 6_000, Warmup: 1_000,
+		SwitchCycles: 20_000, EpochLen: 1_500, OccEvery: 2_000,
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := NewRunner(micro)
+			table, err := e.Run(r)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if table.NumRows() == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if out := table.String(); !strings.Contains(out, "==") {
+				t.Errorf("%s rendered without a title:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestPaperValues(t *testing.T) {
+	all := PaperValues("")
+	if len(all) < 20 {
+		t.Fatalf("only %d paper values recorded", len(all))
+	}
+	for _, v := range all {
+		if v.Value <= 0 || v.Metric == "" || v.Unit == "" {
+			t.Errorf("malformed paper value %+v", v)
+		}
+		// Every artifact named in the reference must exist in the
+		// experiment registry, so the comparison is runnable.
+		if _, ok := ByID(v.Artifact); !ok {
+			t.Errorf("paper value references unknown artifact %q", v.Artifact)
+		}
+	}
+	tab1 := PaperValues("tab1")
+	if len(tab1) != 12 {
+		t.Errorf("tab1 has %d values, want 12 (6 benchmarks x 2 modes)", len(tab1))
+	}
+	tbl := PaperTable("fig7")
+	if tbl.NumRows() != 4 {
+		t.Errorf("fig7 paper table rows = %d, want 4", tbl.NumRows())
+	}
+}

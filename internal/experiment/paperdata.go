@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// PaperValue is one number the paper reports, with enough context to
+// compare a measured run against it.
+type PaperValue struct {
+	Artifact string  // "fig7", "tab1", ...
+	Metric   string  // row/series the value belongs to
+	Value    float64 // the paper's number
+	Unit     string  // "x", "cycles", "fraction", ...
+}
+
+// paperReference encodes the values the paper states explicitly in its
+// text, tables and readable figure annotations (§1, §2, §5). Bar heights
+// the paper does not annotate are not guessed at.
+var paperReference = []PaperValue{
+	// §1/§2: context switching multiplies L2 TLB MPKI.
+	{"fig1", "geomean MPKI ratio (2ctx/1ctx)", 6.0, "x"},
+
+	// Table 1: measured page-walk cycles per L2 TLB miss.
+	{"tab1", "canneal native", 53, "cycles"},
+	{"tab1", "canneal virtualized", 61, "cycles"},
+	{"tab1", "connectedcomponent native", 44, "cycles"},
+	{"tab1", "connectedcomponent virtualized", 1158, "cycles"},
+	{"tab1", "graph500 native", 79, "cycles"},
+	{"tab1", "graph500 virtualized", 80, "cycles"},
+	{"tab1", "gups native", 43, "cycles"},
+	{"tab1", "gups virtualized", 70, "cycles"},
+	{"tab1", "pagerank native", 51, "cycles"},
+	{"tab1", "pagerank virtualized", 61, "cycles"},
+	{"tab1", "streamcluster native", 74, "cycles"},
+	{"tab1", "streamcluster virtualized", 76, "cycles"},
+
+	// §2.2 / Figure 3.
+	{"fig3", "average TLB occupancy of caches", 0.60, "fraction"},
+	{"fig3", "connectedcomponent TLB occupancy", 0.80, "fraction"},
+
+	// §5.1 / Figure 7.
+	{"fig7", "CSALT-D vs POM-TLB (geomean)", 1.11, "x"},
+	{"fig7", "CSALT-CD vs POM-TLB (geomean)", 1.25, "x"},
+	{"fig7", "CSALT-CD vs conventional (geomean)", 1.85, "x"},
+	{"fig7", "connectedcomponent CSALT-CD vs POM-TLB", 2.24, "x"},
+
+	// Figure 8 / §7.
+	{"fig8", "fraction of page walks eliminated", 0.97, "fraction"},
+
+	// Figures 10–11 (§5.1 text).
+	{"fig10", "connectedcomponent L2 MPKI reduction", 0.30, "fraction"},
+	{"fig11", "connectedcomponent L3 MPKI reduction", 0.26, "fraction"},
+
+	// §5.1.1 / Figure 12.
+	{"fig12", "native CSALT-CD improvement (geomean)", 1.05, "x"},
+	{"fig12", "native connectedcomponent improvement", 1.30, "x"},
+
+	// §5.2 / Figure 13.
+	{"fig13", "CSALT-CD vs DIP (average)", 1.30, "x"},
+
+	// §5.3 / Figure 14.
+	{"fig14", "4-context gain over POM-TLB", 1.33, "x"},
+
+	// §2 motivation.
+	{"fig1", "pagerank total-cycle inflation under 2 contexts", 2.2, "x"},
+}
+
+// PaperValues returns the paper's stated numbers for one artifact (or all
+// of them for the empty string).
+func PaperValues(artifact string) []PaperValue {
+	if artifact == "" {
+		out := make([]PaperValue, len(paperReference))
+		copy(out, paperReference)
+		return out
+	}
+	var out []PaperValue
+	for _, v := range paperReference {
+		if v.Artifact == artifact {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PaperTable renders the reference values as a table, optionally filtered
+// by artifact.
+func PaperTable(artifact string) *stats.Table {
+	t := stats.NewTable("Paper-reported values", "artifact", "metric", "value", "unit")
+	for _, v := range PaperValues(artifact) {
+		t.AddRow(v.Artifact, v.Metric, fmt.Sprintf("%g", v.Value), v.Unit)
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+// Package mem defines the address-space vocabulary of the simulator — guest
+// virtual, guest physical and host physical addresses, page geometry — and a
+// simple physical frame allocator used to place page tables, the POM-TLB
+// region and workload data in simulated host physical memory.
+//
+// In a virtualized system (paper §2.1) an application issues guest virtual
+// addresses (gVA). The guest page table maps gVA→gPA; the guest physical
+// address is the host's virtual address, and the host (EPT) table maps
+// gPA→hPA. Caches and DRAM are indexed by hPA.
+package mem
+
+import "fmt"
+
+// VAddr is a guest virtual address.
+type VAddr uint64
+
+// GPAddr is a guest physical address (equivalently, a host virtual address).
+type GPAddr uint64
+
+// PAddr is a host physical address: the address caches and DRAM see.
+type PAddr uint64
+
+// Page geometry for x86-64-style 4-level paging.
+const (
+	PageShift4K = 12 // 4 KB base pages
+	PageShift2M = 21 // 2 MB huge pages
+	PageSize4K  = 1 << PageShift4K
+	PageSize2M  = 1 << PageShift2M
+
+	// LineShift is the cache-line size used throughout (64 B).
+	LineShift = 6
+	LineSize  = 1 << LineShift
+)
+
+// PageSize names one of the supported page sizes.
+type PageSize uint8
+
+// Supported page sizes.
+const (
+	Page4K PageSize = iota
+	Page2M
+)
+
+// Shift returns the log2 of the page size in bytes.
+func (s PageSize) Shift() uint {
+	if s == Page2M {
+		return PageShift2M
+	}
+	return PageShift4K
+}
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 { return 1 << s.Shift() }
+
+// String returns "4K" or "2M".
+func (s PageSize) String() string {
+	if s == Page2M {
+		return "2M"
+	}
+	return "4K"
+}
+
+// PageNumber returns the virtual page number of v for the given page size.
+func PageNumber(v VAddr, s PageSize) uint64 { return uint64(v) >> s.Shift() }
+
+// PageOffset returns the offset of v within its page.
+func PageOffset(v VAddr, s PageSize) uint64 { return uint64(v) & (s.Bytes() - 1) }
+
+// LineAddr returns the cache-line-aligned part of a host physical address.
+func LineAddr(p PAddr) PAddr { return p &^ (LineSize - 1) }
+
+// ASID identifies an address space (a process within a VM context). Tagging
+// TLB entries with the ASID lets contexts share the TLBs without flushes on
+// a context switch (paper §1).
+type ASID uint16
+
+// FrameAllocator hands out host physical frames. Frames are never freed:
+// the simulator models steady-state residency, not paging to disk. The
+// allocator can scramble frame order so that consecutive virtual pages do
+// not land in consecutive physical frames (which would understate cache
+// conflicts); scrambling is a simple multiplicative permutation, so
+// allocation remains deterministic for a given configuration.
+type FrameAllocator struct {
+	base     PAddr
+	limit    PAddr
+	next     uint64 // next sequential frame index
+	total    uint64 // number of 4K frames in [base, limit)
+	scramble bool
+}
+
+// NewFrameAllocator creates an allocator over host physical range
+// [base, base+size). base and size must be 2 MB aligned so huge frames can
+// be carved without padding.
+func NewFrameAllocator(base PAddr, size uint64, scramble bool) *FrameAllocator {
+	if uint64(base)%PageSize2M != 0 || size%PageSize2M != 0 {
+		panic(fmt.Sprintf("mem: allocator range %#x+%#x not 2MB aligned", base, size))
+	}
+	return &FrameAllocator{
+		base:     base,
+		limit:    base + PAddr(size),
+		total:    size >> PageShift4K,
+		scramble: scramble,
+	}
+}
+
+// permute maps sequential frame index i to a scrambled index within the
+// region using a multiplicative permutation (odd multiplier mod power-of-two
+// is a bijection). Used only when scrambling is enabled and the region size
+// is a power of two; otherwise allocation is sequential.
+func (a *FrameAllocator) permute(i uint64) uint64 {
+	if !a.scramble || a.total&(a.total-1) != 0 {
+		return i
+	}
+	const mult = 0x9E3779B97F4A7C15 | 1 // odd => bijective mod 2^k
+	return (i * mult) & (a.total - 1)
+}
+
+// Alloc4K returns the host physical address of a fresh 4 KB frame.
+func (a *FrameAllocator) Alloc4K() (PAddr, error) {
+	if a.next >= a.total {
+		return 0, fmt.Errorf("mem: out of physical frames (%d allocated)", a.next)
+	}
+	idx := a.permute(a.next)
+	a.next++
+	return a.base + PAddr(idx<<PageShift4K), nil
+}
+
+// Alloc2M returns the host physical address of a fresh 2 MB frame. Huge
+// frames are always carved sequentially from the tail of the region so they
+// never collide with scrambled 4 KB frames: the allocator shrinks the region
+// by 512 frames from the end.
+func (a *FrameAllocator) Alloc2M() (PAddr, error) {
+	const framesPer2M = PageSize2M >> PageShift4K
+	if a.total < a.next+framesPer2M {
+		return 0, fmt.Errorf("mem: out of physical frames for 2MB page")
+	}
+	a.total -= framesPer2M
+	return a.base + PAddr(a.total<<PageShift4K), nil
+}
+
+// Allocated returns the number of 4 KB-equivalent frames handed out.
+func (a *FrameAllocator) Allocated() uint64 {
+	tail := (uint64(a.limit-a.base) >> PageShift4K) - a.total // 2MB carve-outs
+	return a.next + tail
+}
+
+// Base returns the start of the managed range.
+func (a *FrameAllocator) Base() PAddr { return a.base }
+
+// Limit returns the end (exclusive) of the managed range.
+func (a *FrameAllocator) Limit() PAddr { return a.limit }
+
+// Contains reports whether p falls inside the managed range.
+func (a *FrameAllocator) Contains(p PAddr) bool { return p >= a.base && p < a.limit }

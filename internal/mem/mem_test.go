@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageSize(t *testing.T) {
+	if Page4K.Bytes() != 4096 {
+		t.Errorf("Page4K.Bytes = %d", Page4K.Bytes())
+	}
+	if Page2M.Bytes() != 2<<20 {
+		t.Errorf("Page2M.Bytes = %d", Page2M.Bytes())
+	}
+	if Page4K.String() != "4K" || Page2M.String() != "2M" {
+		t.Errorf("String() = %q, %q", Page4K, Page2M)
+	}
+}
+
+func TestPageNumberOffset(t *testing.T) {
+	v := VAddr(0x12345678)
+	if got := PageNumber(v, Page4K); got != 0x12345 {
+		t.Errorf("PageNumber 4K = %#x, want 0x12345", got)
+	}
+	if got := PageOffset(v, Page4K); got != 0x678 {
+		t.Errorf("PageOffset 4K = %#x, want 0x678", got)
+	}
+	if got := PageNumber(v, Page2M); got != 0x12345678>>21 {
+		t.Errorf("PageNumber 2M = %#x", got)
+	}
+}
+
+func TestPageNumberOffsetRoundTrip(t *testing.T) {
+	f := func(raw uint64, huge bool) bool {
+		s := Page4K
+		if huge {
+			s = Page2M
+		}
+		v := VAddr(raw)
+		return PageNumber(v, s)*s.Bytes()+PageOffset(v, s) == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	if got := LineAddr(0x1234); got != 0x1200 {
+		t.Errorf("LineAddr = %#x, want 0x1200", got)
+	}
+	if got := LineAddr(0x1240); got != 0x1240 {
+		t.Errorf("LineAddr of aligned = %#x, want 0x1240", got)
+	}
+}
+
+func TestFrameAllocatorSequential(t *testing.T) {
+	a := NewFrameAllocator(0x100000000, 4<<20, false)
+	p1, err := a.Alloc4K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Alloc4K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 0x100000000 || p2 != 0x100001000 {
+		t.Errorf("sequential frames = %#x, %#x", p1, p2)
+	}
+	if a.Allocated() != 2 {
+		t.Errorf("Allocated = %d, want 2", a.Allocated())
+	}
+	if !a.Contains(p1) || a.Contains(a.Limit()) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestFrameAllocatorScrambleIsPermutation(t *testing.T) {
+	size := uint64(8 << 20) // 2048 frames, power of two
+	a := NewFrameAllocator(0, size, true)
+	seen := make(map[PAddr]bool)
+	n := size >> PageShift4K
+	for i := uint64(0); i < n; i++ {
+		p, err := a.Alloc4K()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if p%PageSize4K != 0 {
+			t.Fatalf("frame %#x not 4K aligned", p)
+		}
+		if p >= PAddr(size) {
+			t.Fatalf("frame %#x outside region", p)
+		}
+		if seen[p] {
+			t.Fatalf("frame %#x allocated twice", p)
+		}
+		seen[p] = true
+	}
+	if _, err := a.Alloc4K(); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestFrameAllocator2M(t *testing.T) {
+	a := NewFrameAllocator(0, 8<<20, false)
+	p, err := a.Alloc2M()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%PageSize2M != 0 {
+		t.Errorf("2M frame %#x not aligned", p)
+	}
+	// 2M frames carve from the tail.
+	if p != PAddr(8<<20-2<<20) {
+		t.Errorf("2M frame = %#x, want %#x", p, 8<<20-2<<20)
+	}
+	if a.Allocated() != 512 {
+		t.Errorf("Allocated = %d, want 512", a.Allocated())
+	}
+	// 4K and 2M allocations never overlap.
+	p4, err := a.Alloc4K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 >= p {
+		t.Errorf("4K frame %#x overlaps 2M carve-out at %#x", p4, p)
+	}
+}
+
+func TestFrameAllocatorExhaustion2M(t *testing.T) {
+	a := NewFrameAllocator(0, 2<<20, false)
+	if _, err := a.Alloc2M(); err != nil {
+		t.Fatalf("first 2M alloc failed: %v", err)
+	}
+	if _, err := a.Alloc2M(); err == nil {
+		t.Error("expected 2M exhaustion")
+	}
+	if _, err := a.Alloc4K(); err == nil {
+		t.Error("expected 4K exhaustion after 2M carve")
+	}
+}
+
+func TestFrameAllocatorAlignmentPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unaligned base")
+		}
+	}()
+	NewFrameAllocator(0x1000, 2<<20, false)
+}

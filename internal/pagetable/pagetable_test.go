@@ -1,0 +1,264 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+)
+
+func newTable(t *testing.T, levels int) (*Table, *mem.FrameAllocator) {
+	t.Helper()
+	alloc := mem.NewFrameAllocator(0x100000000, 256<<20, false)
+	tbl, err := New(alloc, levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, alloc
+}
+
+func TestNewValidation(t *testing.T) {
+	alloc := mem.NewFrameAllocator(0, 2<<20, false)
+	if _, err := New(alloc, 3); err == nil {
+		t.Error("expected error for depth 3")
+	}
+	if _, err := New(alloc, 6); err == nil {
+		t.Error("expected error for depth 6")
+	}
+}
+
+func TestMapLookup4K(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	v := mem.VAddr(0x7f1234567000)
+	frame := mem.PAddr(0x200000000)
+	if err := tbl.Map(v, frame, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	got, size, ok := tbl.Lookup(v + 0xabc)
+	if !ok || got != frame || size != mem.Page4K {
+		t.Fatalf("Lookup = %#x,%v,%v; want %#x,4K,true", got, size, ok, frame)
+	}
+	// Translate includes the page offset.
+	pa, ok := tbl.Translate(v + 0xabc)
+	if !ok || pa != frame+0xabc {
+		t.Errorf("Translate = %#x, want %#x", pa, frame+0xabc)
+	}
+	// Unmapped neighbour page misses.
+	if _, _, ok := tbl.Lookup(v + mem.PageSize4K); ok {
+		t.Error("unmapped page resolved")
+	}
+}
+
+func TestMapLookup2M(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	v := mem.VAddr(0x40000000)
+	frame := mem.PAddr(0x200000)
+	if err := tbl.Map(v, frame, mem.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	pa, ok := tbl.Translate(v + 0x123456)
+	if !ok || pa != frame+0x123456 {
+		t.Errorf("2M Translate = %#x,%v", pa, ok)
+	}
+	p4, p2 := tbl.MappedPages()
+	if p4 != 0 || p2 != 1 {
+		t.Errorf("MappedPages = %d,%d", p4, p2)
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	v := mem.VAddr(0x1000)
+	if err := tbl.Map(v, 0x1234, mem.Page4K); err == nil {
+		t.Error("unaligned frame accepted")
+	}
+	if err := tbl.Map(v, 0x2000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// Identical remap is idempotent.
+	if err := tbl.Map(v, 0x2000, mem.Page4K); err != nil {
+		t.Errorf("idempotent remap rejected: %v", err)
+	}
+	// Conflicting remap fails.
+	if err := tbl.Map(v, 0x3000, mem.Page4K); err == nil {
+		t.Error("conflicting remap accepted")
+	}
+	// A 4K map under an existing 2M leaf fails.
+	if err := tbl.Map(0x40000000, 0x200000, mem.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map(0x40001000, 0x4000, mem.Page4K); err == nil {
+		t.Error("map under 2M leaf accepted")
+	}
+}
+
+func TestWalkStepCount(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	v := mem.VAddr(0x7f0000000000)
+	if err := tbl.Map(v, 0x5000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	steps, frame, size, ok := tbl.Walk(v, nil)
+	if !ok || frame != 0x5000 || size != mem.Page4K {
+		t.Fatalf("Walk = %#x,%v,%v", frame, size, ok)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("4-level walk took %d steps, want 4", len(steps))
+	}
+	for i, s := range steps {
+		if s.Level != 4-i {
+			t.Errorf("step %d level = %d, want %d", i, s.Level, 4-i)
+		}
+		if s.Addr%entryBytes != 0 {
+			t.Errorf("step %d PTE addr %#x not 8-byte aligned", i, s.Addr)
+		}
+	}
+	// 2M mapping walks in 3 steps.
+	if err := tbl.Map(0x40000000, 0x200000, mem.Page2M); err != nil {
+		t.Fatal(err)
+	}
+	steps, _, size, ok = tbl.Walk(0x40000000, steps[:0])
+	if !ok || size != mem.Page2M || len(steps) != 3 {
+		t.Errorf("2M walk = %d steps, size %v", len(steps), size)
+	}
+}
+
+func TestWalkFailurePartialSteps(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	steps, _, _, ok := tbl.Walk(0xdead000, nil)
+	if ok {
+		t.Fatal("walk of unmapped address succeeded")
+	}
+	if len(steps) != 1 {
+		t.Errorf("failed walk touched %d PTEs, want 1 (root entry)", len(steps))
+	}
+}
+
+func TestFiveLevelWalk(t *testing.T) {
+	tbl, _ := newTable(t, 5)
+	v := mem.VAddr(0x1FF0000000000) // beyond 48-bit space
+	if err := tbl.Map(v, 0x6000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	steps, frame, _, ok := tbl.Walk(v, nil)
+	if !ok || frame != 0x6000 {
+		t.Fatal("5-level walk failed")
+	}
+	if len(steps) != 5 {
+		t.Errorf("5-level walk took %d steps", len(steps))
+	}
+}
+
+func TestNodeSharing(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	// Two pages in the same 2MB region share all interior nodes: mapping
+	// the second allocates no new nodes.
+	if err := tbl.Map(0x1000, 0x10000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	before := tbl.NodeCount()
+	if err := tbl.Map(0x2000, 0x11000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NodeCount() != before {
+		t.Errorf("sibling map allocated %d new nodes", tbl.NodeCount()-before)
+	}
+	// A distant page allocates three new interior nodes (L3, L2, L1).
+	if err := tbl.Map(0x7f0000000000, 0x12000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.NodeCount() - before; got != 3 {
+		t.Errorf("distant map allocated %d nodes, want 3", got)
+	}
+}
+
+func TestNodeFrameAt(t *testing.T) {
+	tbl, _ := newTable(t, 4)
+	v := mem.VAddr(0x7f0000123000)
+	if err := tbl.Map(v, 0x8000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	steps, _, _, _ := tbl.Walk(v, nil)
+	// The node frame at level L is the frame containing the step-PTE for
+	// level L.
+	for _, want := range []int{3, 2, 1} {
+		frame, ok := tbl.NodeFrameAt(v, want)
+		if !ok {
+			t.Fatalf("NodeFrameAt(%d) missing", want)
+		}
+		pte := steps[4-want].Addr
+		if pte < frame || pte >= frame+mem.PageSize4K {
+			t.Errorf("level %d: PTE %#x not in node frame %#x", want, pte, frame)
+		}
+	}
+	if _, ok := tbl.NodeFrameAt(v, 4); ok {
+		t.Error("NodeFrameAt(levels) should be false")
+	}
+	if _, ok := tbl.NodeFrameAt(0xdeadbeef000, 1); ok {
+		t.Error("NodeFrameAt on unmapped path should be false")
+	}
+}
+
+// TestWalkMatchesLookup: Walk and Lookup agree for arbitrary map/lookup
+// sequences.
+func TestWalkMatchesLookup(t *testing.T) {
+	f := func(pages []uint32) bool {
+		alloc := mem.NewFrameAllocator(0x100000000, 512<<20, false)
+		tbl, err := New(alloc, 4)
+		if err != nil {
+			return false
+		}
+		dataAlloc := mem.NewFrameAllocator(0x800000000, 512<<20, false)
+		var steps []Step
+		for _, pg := range pages {
+			v := mem.VAddr(uint64(pg) << mem.PageShift4K)
+			if _, _, ok := tbl.Lookup(v); !ok {
+				frame, err := dataAlloc.Alloc4K()
+				if err != nil {
+					return false
+				}
+				if err := tbl.Map(v, frame, mem.Page4K); err != nil {
+					return false
+				}
+			}
+			var f1, f2 mem.PAddr
+			var ok1, ok2 bool
+			f1, _, ok1 = tbl.Lookup(v)
+			steps, f2, _, ok2 = tbl.Walk(v, steps[:0])
+			if ok1 != ok2 || f1 != f2 || !ok1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStepsWithinNodeFrames: every walk step's PTE address falls inside a
+// frame the table actually allocated.
+func TestStepsWithinNodeFrames(t *testing.T) {
+	tbl, alloc := newTable(t, 4)
+	base := alloc.Base()
+	for i := 0; i < 100; i++ {
+		v := mem.VAddr(uint64(i) * 3 << 21) // spread across PDs
+		if err := tbl.Map(v, mem.PAddr(uint64(i+1)<<mem.PageShift4K), mem.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var steps []Step
+	for i := 0; i < 100; i++ {
+		v := mem.VAddr(uint64(i) * 3 << 21)
+		var ok bool
+		steps, _, _, ok = tbl.Walk(v, steps[:0])
+		if !ok {
+			t.Fatal("walk failed")
+		}
+		for _, s := range steps {
+			if s.Addr < base || s.Addr >= alloc.Limit() {
+				t.Fatalf("PTE %#x outside node allocator range", s.Addr)
+			}
+		}
+	}
+}

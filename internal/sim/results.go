@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Results is everything a run measures, post-warmup. Field names follow
+// the paper's metrics: MPKIs are misses per kilo-instruction over the
+// measured instruction stream; IPCGeomean is the geometric mean of
+// per-core IPC the paper uses as its performance score (§4.2).
+type Results struct {
+	SchemeName string
+	OrgName    string
+
+	PerCoreIPC   []float64
+	IPCGeomean   float64
+	Instructions uint64 // measured instructions, summed over cores
+	Cycles       uint64 // max measured per-core cycles
+
+	// TLB behaviour.
+	L2TLBMisses uint64
+	L2TLBMPKI   float64
+	L1TLBMPKI   float64
+
+	// Walks (Figure 8, Table 1).
+	PageWalks           uint64
+	WalksEliminated     float64 // 1 − walks / L2 TLB misses
+	WalkCyclesPerL2Miss float64 // translation cycles after an L2 TLB miss
+	WalkCyclesPerWalk   float64 // radix-walk latency itself
+
+	// Data-cache behaviour (Figures 3, 10, 11).
+	L2DMPKI        float64 // all L2 data-cache misses per kilo-instruction
+	L3DMPKI        float64
+	L2DataMPKI     float64 // data-type misses only
+	L3DataMPKI     float64
+	TLBOccupancyL2 float64 // avg fraction of L2 capacity holding TLB lines
+	TLBOccupancyL3 float64
+
+	// POM-TLB.
+	POMHitRate float64
+
+	// Partition traces (Figure 9); L2 is core 0's private cache.
+	PartitionHistoryL2 []core.Snapshot
+	PartitionHistoryL3 []core.Snapshot
+
+	ContextSwitches    uint64
+	TranslateStallFrac float64 // share of measured cycles stalled on translation
+	DRAMReads          uint64
+	TouchedPages       uint64
+}
+
+// collect derives Results from the system's counters relative to the
+// warmup snapshots.
+func (s *System) collect() *Results {
+	r := &Results{
+		SchemeName: s.cfg.Scheme.String(),
+		OrgName:    s.cfg.Org.String(),
+	}
+	if s.cfg.DIP {
+		r.SchemeName = "dip"
+	}
+
+	var instrSum, cycleMax, trStall, cycleSum uint64
+	ipcs := make([]float64, 0, len(s.cores))
+	for i, c := range s.cores {
+		instr := c.Stats.Instructions.Value() - s.snaps[i].instructions
+		cyc := c.Cycle() - s.snaps[i].cycles
+		if cyc == 0 {
+			cyc = 1
+		}
+		ipcs = append(ipcs, float64(instr)/float64(cyc))
+		instrSum += instr
+		cycleSum += cyc
+		if cyc > cycleMax {
+			cycleMax = cyc
+		}
+		trStall += c.Stats.TranslateStall.Value()
+		r.ContextSwitches += c.Stats.ContextSwitches.Value()
+	}
+	r.PerCoreIPC = ipcs
+	r.IPCGeomean = stats.GeoMean(ipcs)
+	r.Instructions = instrSum
+	r.Cycles = cycleMax
+	if cycleSum > 0 {
+		r.TranslateStallFrac = float64(trStall) / float64(cycleSum)
+	}
+
+	m := s.mem
+	var l1tlbMisses uint64
+	for i := range s.cores {
+		l1tlbMisses += m.l1tlb[i].Accesses.Misses.Value()
+	}
+	r.L2TLBMisses = m.Stats.L2TLBMisses.Value()
+	r.L2TLBMPKI = stats.MPKI(r.L2TLBMisses, instrSum)
+	r.L1TLBMPKI = stats.MPKI(l1tlbMisses, instrSum)
+
+	r.PageWalks = m.Stats.PageWalks.Value()
+	if r.L2TLBMisses > 0 {
+		r.WalksEliminated = 1 - float64(r.PageWalks)/float64(r.L2TLBMisses)
+	}
+	r.WalkCyclesPerL2Miss = m.Stats.TranslateAfterL2Miss.Mean()
+	// Combine per-walker means weighted by their sample counts.
+	var walkSum float64
+	var walkN uint64
+	for i := range s.cores {
+		wk := &m.walkers[i].Stats
+		walkSum += wk.WalkCycles.Mean() * float64(wk.WalkCycles.N())
+		walkN += wk.WalkCycles.N()
+	}
+	if walkN > 0 {
+		r.WalkCyclesPerWalk = walkSum / float64(walkN)
+	}
+
+	var l2Misses, l2DataMisses uint64
+	for i := range s.cores {
+		l2Misses += m.l2[i].Stats.Misses()
+		l2DataMisses += m.l2[i].Stats.ByType[cache.Data].Misses.Value()
+	}
+	r.L2DMPKI = stats.MPKI(l2Misses, instrSum)
+	r.L2DataMPKI = stats.MPKI(l2DataMisses, instrSum)
+	r.L3DMPKI = stats.MPKI(m.l3.Stats.Misses(), instrSum)
+	r.L3DataMPKI = stats.MPKI(m.l3.Stats.ByType[cache.Data].Misses.Value(), instrSum)
+	r.TLBOccupancyL2 = m.Stats.L2Occupancy.Mean()
+	r.TLBOccupancyL3 = m.Stats.L3Occupancy.Mean()
+
+	if m.pom != nil {
+		r.POMHitRate = m.pom.Accesses.Rate()
+	}
+	r.PartitionHistoryL2 = m.l2ctl[0].History()
+	r.PartitionHistoryL3 = m.l3ctl.History()
+	r.DRAMReads = m.ddr.Stats.Accesses.Value() + m.stacked.Stats.Accesses.Value()
+	for _, vm := range s.vms {
+		r.TouchedPages += vm.touchedPages
+	}
+	return r
+}

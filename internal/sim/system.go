@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"github.com/csalt-sim/csalt/internal/cpu"
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/trace"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// vaBase places a thread's private region in guest-virtual space; threads
+// are 64 GB apart, far beyond any scaled footprint.
+func vaBase(thread int) mem.VAddr {
+	return mem.VAddr(0x10_0000_0000 + uint64(thread)<<36)
+}
+
+// coreSnap records a core's counters at the warmup boundary so measured
+// IPC excludes warmup work.
+type coreSnap struct {
+	instructions uint64
+	cycles       uint64
+}
+
+// System is one fully assembled machine + workload.
+type System struct {
+	cfg   Config
+	mem   *memSystem
+	cores []*cpu.Core
+	vms   []*vmState
+	snaps []coreSnap
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ms, err := newMemSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, mem: ms}
+
+	// One VM per context slot; slots alternate between the mix's two
+	// benchmarks (a 4-context run co-schedules two instances of each).
+	for i := 0; i < cfg.ContextsPerCore; i++ {
+		bench := cfg.Mix.VM1
+		if i%2 == 1 {
+			bench = cfg.Mix.VM2
+		}
+		vm, err := newVM(mem.ASID(i+1), bench, cfg.Virtualized, cfg.PageTableLevels, ms.hostA, cfg.HugePages, cfg.EPT4K)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building VM %d: %w", i+1, err)
+		}
+		if err := ms.addVM(vm); err != nil {
+			return nil, err
+		}
+		s.vms = append(s.vms, vm)
+	}
+
+	// Cores: core c runs thread c of every VM, one context per VM.
+	for c := 0; c < cfg.Cores; c++ {
+		var ctxs []cpu.Context
+		for vi, vm := range s.vms {
+			var src trace.Source
+			var err error
+			if cfg.TraceDir != "" {
+				path := filepath.Join(cfg.TraceDir, fmt.Sprintf("vm%d_core%d.trace", vi+1, c))
+				src, err = trace.LoadReplay(path)
+			} else {
+				src, err = workload.New(vm.bench, workload.Params{
+					ASID:  vm.asid,
+					Base:  vaBase(c),
+					Seed:  cfg.Seed + uint64(vi)*1_000_003 + uint64(c)*7919,
+					Scale: cfg.Scale,
+				})
+			}
+			if err != nil {
+				return nil, err
+			}
+			if fp, ok := src.(trace.Footprinter); ok && !cfg.NoPrewarm {
+				var prewarmErr error
+				fp.VisitFootprint(func(v mem.VAddr) {
+					if prewarmErr == nil {
+						prewarmErr = ms.prewarmTranslation(vm, v)
+					}
+				})
+				if prewarmErr != nil {
+					return nil, fmt.Errorf("sim: prewarming core %d ctx %d: %w", c, vi, prewarmErr)
+				}
+			}
+			ctxs = append(ctxs, cpu.Context{Source: src, ASID: vm.asid})
+		}
+		coreCfg := cpu.Config{
+			ID:             c,
+			CPIx100:        cfg.CPIx100,
+			MLPWindow:      cfg.MLPWindow,
+			SwitchInterval: cfg.SwitchIntervalCycles,
+		}
+		coreObj, err := cpu.New(coreCfg, ctxs, ms, ms)
+		if err != nil {
+			return nil, err
+		}
+		s.cores = append(s.cores, coreObj)
+	}
+	return s, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run plays the workload to completion: every core retires
+// MaxRefsPerCore memory references, with statistics reset once all cores
+// have passed WarmupRefs. Cores are interleaved min-cycle-first so shared
+// resources (L3, DRAM banks, the POM) see a coherent global clock.
+func (s *System) Run() (*Results, error) {
+	target := s.cfg.MaxRefsPerCore
+	warm := s.cfg.WarmupRefs
+	warmed := warm == 0
+	if warmed {
+		s.takeSnaps()
+	}
+
+	for {
+		// Pick the active core with the smallest clock.
+		var next *cpu.Core
+		for _, c := range s.cores {
+			if c.Stats.MemRefs.Value() >= target {
+				continue
+			}
+			if next == nil || c.Cycle() < next.Cycle() {
+				next = c
+			}
+		}
+		if next == nil {
+			break
+		}
+		ok, err := next.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("sim: core %d trace ended prematurely", next.ID())
+		}
+		if !warmed {
+			crossed := true
+			for _, c := range s.cores {
+				if c.Stats.MemRefs.Value() < warm {
+					crossed = false
+					break
+				}
+			}
+			if crossed {
+				warmed = true
+				s.mem.resetStats()
+				s.takeSnaps()
+			}
+		}
+	}
+	for _, c := range s.cores {
+		c.Drain()
+	}
+	return s.collect(), nil
+}
+
+// takeSnaps records per-core counters at the measurement start.
+func (s *System) takeSnaps() {
+	s.snaps = make([]coreSnap, len(s.cores))
+	for i, c := range s.cores {
+		s.snaps[i] = coreSnap{
+			instructions: c.Stats.Instructions.Value(),
+			cycles:       c.Cycle(),
+		}
+	}
+}
+
+// Mem exposes the memory system for white-box tests.
+func (s *System) Mem() *memSystem { return s.mem }
+
+// Cores exposes the core models for white-box tests.
+func (s *System) Cores() []*cpu.Core { return s.cores }

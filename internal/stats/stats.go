@@ -1,0 +1,169 @@
+// Package stats provides the counter, rate and summary primitives shared by
+// every simulator component, plus the small numeric helpers (geometric mean,
+// MPKI) the experiment harness uses to report results the way the paper does.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. It is a plain uint64
+// with methods so that component structs read as self-documenting stat
+// blocks; simulation is single-goroutine per system, so no atomics.
+type Counter uint64
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { *c++ }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Ratio returns c divided by total, or 0 when total is zero.
+func Ratio(c, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}
+
+// MPKI returns misses per kilo-instruction, the paper's unit for TLB and
+// cache miss rates (Figures 1, 10, 11).
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(instructions)
+}
+
+// GeoMean returns the geometric mean of xs, skipping non-positive entries
+// (which would otherwise poison the product). The paper reports all
+// cross-workload aggregates as geometric means.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HitRate summarises a hit/miss pair.
+type HitRate struct {
+	Hits   Counter
+	Misses Counter
+}
+
+// Hit records a hit.
+func (h *HitRate) Hit() { h.Hits.Inc() }
+
+// Miss records a miss.
+func (h *HitRate) Miss() { h.Misses.Inc() }
+
+// Accesses returns hits+misses.
+func (h HitRate) Accesses() uint64 { return h.Hits.Value() + h.Misses.Value() }
+
+// Rate returns hits/(hits+misses), or 0 with no accesses.
+func (h HitRate) Rate() float64 { return Ratio(h.Hits.Value(), h.Accesses()) }
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (h HitRate) MissRate() float64 { return Ratio(h.Misses.Value(), h.Accesses()) }
+
+// Reset zeroes both counters.
+func (h *HitRate) Reset() { h.Hits, h.Misses = 0, 0 }
+
+// RunningMean tracks a streaming arithmetic mean without storing samples,
+// used for per-event latency averages (e.g. page-walk cycles per L2 TLB
+// miss in Table 1).
+type RunningMean struct {
+	n   uint64
+	sum float64
+}
+
+// Observe adds one sample.
+func (r *RunningMean) Observe(x float64) {
+	r.n++
+	r.sum += x
+}
+
+// N returns the number of samples observed.
+func (r *RunningMean) N() uint64 { return r.n }
+
+// Mean returns the current mean (0 with no samples).
+func (r *RunningMean) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}
+
+// Reset forgets all samples.
+func (r *RunningMean) Reset() { r.n, r.sum = 0, 0 }
+
+// Histogram is a fixed-bucket histogram over uint64 samples; bucket i counts
+// samples in [bounds[i-1], bounds[i]). It backs the distribution-style
+// diagnostics (walk lengths, stack distances) in the test suite.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// A final overflow bucket is added implicitly.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return x < h.bounds[i] })
+	h.counts[i]++
+	h.total++
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count in bucket i (the last index is the overflow
+// bucket).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including overflow.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// String renders the histogram compactly for debugging.
+func (h *Histogram) String() string {
+	s := ""
+	prev := uint64(0)
+	for i, b := range h.bounds {
+		s += fmt.Sprintf("[%d,%d):%d ", prev, b, h.counts[i])
+		prev = b
+	}
+	s += fmt.Sprintf("[%d,+inf):%d", prev, h.counts[len(h.bounds)])
+	return s
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a small text-table builder used by the experiment harness to
+// print the rows/series of each paper table and figure. Columns are
+// right-aligned except the first, mirroring the look of a results table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells may be strings, float64 (rendered %.3f),
+// float32, ints or anything fmt can print.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Cell returns the rendered cell at (row, col); it panics on out-of-range
+// indices, matching slice semantics.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// Row returns a copy of the rendered cells of one row.
+func (t *Table) Row(row int) []string {
+	out := make([]string, len(t.rows[row]))
+	copy(out, t.rows[row])
+	return out
+}
+
+// Render writes the formatted table to w.
+func (t *Table) Render(w io.Writer) {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i == 0 {
+				parts[i] = fmt.Sprintf("%-*s", width[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%*s", width[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	fmt.Fprintln(w, strings.Join(rule, "  "))
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}

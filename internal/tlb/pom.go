@@ -1,0 +1,186 @@
+package tlb
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// POM is the part-of-memory L3 TLB (Ryoo et al., ISCA'17), the substrate
+// CSALT is architected over: a large set-associative TLB occupying an
+// explicit physical address range in die-stacked DRAM. Because it is
+// memory-mapped, each set's 64-byte line can be cached in the L2/L3 data
+// caches; the memory system classifies any address inside [Base,
+// Base+Size) as a Translation access (§3.1).
+//
+// One 64-byte line holds one set of four 16-byte entries (tag + frame), so
+// a lookup is a single memory access — the property that makes POM-TLB
+// cheaper per miss than TSB's chained lookups (§5.2).
+type POM struct {
+	base     mem.PAddr
+	sizeB    uint64
+	sets     uint64
+	ways     int
+	entries  []entry
+	next     uint64
+	hashSeed uint64
+
+	Accesses stats.HitRate
+	Inserts  stats.Counter
+}
+
+// EntriesPerLine is the POM-TLB's set associativity: four 16-byte entries
+// per 64-byte line.
+const EntriesPerLine = 4
+
+// NewPOM builds a POM-TLB of sizeBytes at physical address base. Size must
+// be a power of two of at least one line.
+func NewPOM(base mem.PAddr, sizeBytes uint64) (*POM, error) {
+	if sizeBytes < mem.LineSize || sizeBytes&(sizeBytes-1) != 0 {
+		return nil, fmt.Errorf("tlb: POM size %d must be a power-of-two >= %d", sizeBytes, mem.LineSize)
+	}
+	if uint64(base)%mem.LineSize != 0 {
+		return nil, fmt.Errorf("tlb: POM base %#x not line aligned", base)
+	}
+	sets := sizeBytes / mem.LineSize
+	return &POM{
+		base:     base,
+		sizeB:    sizeBytes,
+		sets:     sets,
+		ways:     EntriesPerLine,
+		entries:  make([]entry, sets*EntriesPerLine),
+		hashSeed: 0x9E3779B97F4A7C15,
+	}, nil
+}
+
+// MustNewPOM is NewPOM for static configurations.
+func MustNewPOM(base mem.PAddr, sizeBytes uint64) *POM {
+	p, err := NewPOM(base, sizeBytes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Base returns the POM-TLB's base physical address.
+func (p *POM) Base() mem.PAddr { return p.base }
+
+// Size returns the POM-TLB's size in bytes.
+func (p *POM) Size() uint64 { return p.sizeB }
+
+// Contains reports whether a physical address falls inside the POM-TLB
+// region — the §3.1 data/TLB classification test.
+func (p *POM) Contains(a mem.PAddr) bool {
+	return a >= p.base && a < p.base+mem.PAddr(p.sizeB)
+}
+
+// setOf hashes (vpn, asid, size) to a set index. Mixing the ASID and the
+// page size into the hash spreads the contexts' entries across the whole
+// structure, and keeps the 4 KB and 2 MB entries for overlapping regions
+// in distinct sets.
+func (p *POM) setOf(vpn uint64, asid mem.ASID, size mem.PageSize) uint64 {
+	z := vpn ^ (uint64(asid) << 40) ^ (uint64(size) << 56) ^ p.hashSeed
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return (z ^ (z >> 31)) & (p.sets - 1)
+}
+
+// LineAddr returns the physical address of the cacheable line holding the
+// 4 KB-entry set for (v, asid). The memory system fetches this line through
+// the data caches before Lookup consults the tags.
+func (p *POM) LineAddr(v mem.VAddr, asid mem.ASID) mem.PAddr {
+	return p.LineAddrSized(v, asid, mem.Page4K)
+}
+
+// LineAddrSized is LineAddr for an explicit page size; huge-page entries
+// live in their own sets (the POM-TLB paper keeps per-size structures).
+func (p *POM) LineAddrSized(v mem.VAddr, asid mem.ASID, size mem.PageSize) mem.PAddr {
+	set := p.setOf(mem.PageNumber(v, size), asid, size)
+	return p.base + mem.PAddr(set*mem.LineSize)
+}
+
+// probe searches one size's set for (v, asid).
+func (p *POM) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, bool) {
+	vpn := mem.PageNumber(v, size)
+	base := int(p.setOf(vpn, asid, size)) * p.ways
+	for w := 0; w < p.ways; w++ {
+		e := &p.entries[base+w]
+		if e.valid && e.asid == asid && e.vpn == vpn && e.size == size {
+			p.next++
+			e.seq = p.next
+			return e.frame, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup checks for a 4 KB translation of (v, asid); most deployments
+// (virtualized, 4 KB-granular host frames) only use this probe.
+func (p *POM) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
+	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
+		p.Accesses.Hit()
+		return frame, true
+	}
+	p.Accesses.Miss()
+	return 0, false
+}
+
+// LookupAnySize probes 4 KB then 2 MB entries, returning the matched size.
+// Native huge-page systems use it; the second probe costs a second line
+// fetch, which the caller charges via LineAddrSized.
+func (p *POM) LookupAnySize(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool) {
+	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
+		p.Accesses.Hit()
+		return frame, mem.Page4K, true
+	}
+	if frame, ok := p.probe(v, asid, mem.Page2M); ok {
+		p.Accesses.Hit()
+		return frame, mem.Page2M, true
+	}
+	p.Accesses.Miss()
+	return 0, 0, false
+}
+
+// Insert installs a 4 KB translation into its set, LRU-evicting on
+// conflict. The caller is responsible for the corresponding dirty-line
+// write into the cache hierarchy (the POM line was modified).
+func (p *POM) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr) {
+	p.InsertSized(v, asid, frame, mem.Page4K)
+}
+
+// InsertSized installs a translation of an explicit page size.
+func (p *POM) InsertSized(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
+	vpn := mem.PageNumber(v, size)
+	base := int(p.setOf(vpn, asid, size)) * p.ways
+	victim := base
+	for w := 0; w < p.ways; w++ {
+		e := &p.entries[base+w]
+		if e.valid && e.asid == asid && e.vpn == vpn && e.size == size {
+			p.next++
+			e.frame, e.seq = frame, p.next
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.seq < p.entries[victim].seq {
+			victim = base + w
+		}
+	}
+	p.next++
+	p.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: p.next, valid: true}
+	p.Inserts.Inc()
+}
+
+// Utilization returns the fraction of POM entries currently valid.
+func (p *POM) Utilization() float64 {
+	valid := 0
+	for i := range p.entries {
+		if p.entries[i].valid {
+			valid++
+		}
+	}
+	return float64(valid) / float64(len(p.entries))
+}

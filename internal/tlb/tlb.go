@@ -1,0 +1,164 @@
+// Package tlb implements the translation caches of the simulated system:
+// the per-core L1 and L2 TLBs (ASID-tagged, set-associative, per Table 2)
+// and the POM-TLB — the very large part-of-memory L3 TLB of Ryoo et al.
+// that CSALT is architected over. POM-TLB entries live at real simulated
+// physical addresses in die-stacked DRAM, so they are cacheable in the L2
+// and L3 data caches; pom.go exposes the line address of each set so the
+// memory system can route those accesses.
+package tlb
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// entry is one TLB entry: an ASID-tagged virtual-to-physical page mapping.
+type entry struct {
+	vpn   uint64
+	asid  mem.ASID
+	frame mem.PAddr
+	size  mem.PageSize
+	seq   uint64
+	valid bool
+}
+
+// Config sizes a TLB level.
+type Config struct {
+	Name    string
+	Entries int
+	Ways    int
+	Latency uint64 // lookup latency in CPU cycles
+}
+
+// TLB is one set-associative, ASID-tagged translation lookaside buffer.
+// A unified TLB holds entries of both page sizes; lookup probes both
+// (4 KB first), as a unified L2 TLB does.
+type TLB struct {
+	cfg     Config
+	sets    int
+	ways    int
+	setMask uint64
+	entries []entry
+	next    uint64
+
+	Accesses stats.HitRate
+}
+
+// New builds a TLB from cfg; entries must divide evenly into power-of-two
+// sets.
+func New(cfg Config) (*TLB, error) {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		return nil, fmt.Errorf("tlb %s: bad geometry %d entries / %d ways", cfg.Name, cfg.Entries, cfg.Ways)
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("tlb %s: set count %d not a power of two", cfg.Name, sets)
+	}
+	return &TLB{
+		cfg:     cfg,
+		sets:    sets,
+		ways:    cfg.Ways,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, cfg.Entries),
+	}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the TLB's configured name.
+func (t *TLB) Name() string { return t.cfg.Name }
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() uint64 { return t.cfg.Latency }
+
+// Entries returns the capacity.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+func (t *TLB) set(vpn uint64) int { return int(vpn & t.setMask) }
+
+// probe searches one page size's set for (asid, v).
+func (t *TLB) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, bool) {
+	vpn := mem.PageNumber(v, size)
+	base := t.set(vpn) * t.ways
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.asid == asid && e.vpn == vpn && e.size == size {
+			t.next++
+			e.seq = t.next
+			return e.frame, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup translates v for asid, probing 4 KB then 2 MB entries. It returns
+// the page frame and the matched page size.
+func (t *TLB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool) {
+	if frame, ok := t.probe(v, asid, mem.Page4K); ok {
+		t.Accesses.Hit()
+		return frame, mem.Page4K, true
+	}
+	if frame, ok := t.probe(v, asid, mem.Page2M); ok {
+		t.Accesses.Hit()
+		return frame, mem.Page2M, true
+	}
+	t.Accesses.Miss()
+	return 0, 0, false
+}
+
+// Insert installs a translation, evicting the set's LRU entry if needed.
+// Inserting an existing (asid, page) refreshes it.
+func (t *TLB) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
+	vpn := mem.PageNumber(v, size)
+	base := t.set(vpn) * t.ways
+	victim := base
+	for w := 0; w < t.ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.asid == asid && e.vpn == vpn && e.size == size {
+			t.next++
+			e.frame, e.seq = frame, t.next
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.seq < t.entries[victim].seq {
+			victim = base + w
+		}
+	}
+	t.next++
+	t.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: t.next, valid: true}
+}
+
+// FlushASID invalidates every entry of one address space (not used on
+// context switches — ASID tagging exists precisely to avoid that — but
+// exposed for completeness and tests).
+func (t *TLB) FlushASID(asid mem.ASID) {
+	for i := range t.entries {
+		if t.entries[i].asid == asid {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// OccupancyByASID counts valid entries per ASID, for diagnostics of the
+// context-switch contention the paper measures.
+func (t *TLB) OccupancyByASID() map[mem.ASID]int {
+	out := make(map[mem.ASID]int)
+	for i := range t.entries {
+		if t.entries[i].valid {
+			out[t.entries[i].asid]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package trace
+
+// Interleaver merges the streams of several contexts into one, switching to
+// the next context each time the current one has retired `quantum`
+// instructions (memory plus non-memory). It reproduces, at the trace level,
+// the round-robin context-switch playback of the paper's methodology; the
+// cycle-accurate simulator in internal/cpu performs the same switching in
+// cycles rather than instructions.
+//
+// A context whose source is exhausted is skipped; the interleaved stream
+// ends when every context is exhausted.
+type Interleaver struct {
+	sources []Source
+	quantum uint64
+	cur     int
+	retired uint64 // instructions retired in the current quantum
+	done    []bool
+	nDone   int
+
+	// Switches counts completed context switches, for tests and stats.
+	Switches uint64
+}
+
+// NewInterleaver builds an Interleaver over sources with the given
+// instruction quantum. It panics on an empty source list or zero quantum.
+func NewInterleaver(quantum uint64, sources ...Source) *Interleaver {
+	if len(sources) == 0 {
+		panic("trace: Interleaver needs at least one source")
+	}
+	if quantum == 0 {
+		panic("trace: Interleaver quantum must be positive")
+	}
+	return &Interleaver{
+		sources: sources,
+		quantum: quantum,
+		done:    make([]bool, len(sources)),
+	}
+}
+
+// advance moves to the next live context, if any.
+func (iv *Interleaver) advance() {
+	iv.retired = 0
+	for i := 1; i <= len(iv.sources); i++ {
+		next := (iv.cur + i) % len(iv.sources)
+		if !iv.done[next] {
+			if next != iv.cur {
+				iv.Switches++
+			}
+			iv.cur = next
+			return
+		}
+	}
+}
+
+// Next implements Source.
+func (iv *Interleaver) Next() (Record, bool) {
+	for iv.nDone < len(iv.sources) {
+		if iv.done[iv.cur] {
+			iv.advance()
+			continue
+		}
+		r, ok := iv.sources[iv.cur].Next()
+		if !ok {
+			iv.done[iv.cur] = true
+			iv.nDone++
+			iv.advance()
+			continue
+		}
+		iv.retired += r.Instructions()
+		if iv.retired >= iv.quantum {
+			iv.advance()
+		}
+		return r, true
+	}
+	return Record{}, false
+}
+
+// Current returns the index of the context that will supply the next record.
+func (iv *Interleaver) Current() int { return iv.cur }

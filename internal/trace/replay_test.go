@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+)
+
+func TestNewReplayValidation(t *testing.T) {
+	if _, err := NewReplay(nil); err == nil {
+		t.Error("empty replay accepted")
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	r, err := NewReplay([]Record{{Addr: 0x1000}, {Addr: 0x2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mem.VAddr{0x1000, 0x2000, 0x1000, 0x2000, 0x1000}
+	for i, w := range want {
+		rec, ok := r.Next()
+		if !ok || rec.Addr != w {
+			t.Fatalf("record %d = %v,%v want %v", i, rec.Addr, ok, w)
+		}
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestReplayFootprint(t *testing.T) {
+	r, err := NewReplay([]Record{
+		{Addr: 0x1000}, {Addr: 0x1800}, // same page
+		{Addr: 0x5000},
+		{Addr: 0x3000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pages() != 3 {
+		t.Fatalf("Pages = %d, want 3", r.Pages())
+	}
+	var got []mem.VAddr
+	r.VisitFootprint(func(v mem.VAddr) { got = append(got, v) })
+	want := []mem.VAddr{0x1000, 0x3000, 0x5000} // ascending, page-aligned
+	if len(got) != len(want) {
+		t.Fatalf("footprint = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("footprint = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLoadReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: Load, Addr: 0x7f00001000, ASID: 1, NonMem: 2},
+		{Kind: Store, Addr: 0x7f00002000, ASID: 1, NonMem: 0},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := LoadReplay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Pages() != 2 {
+		t.Fatalf("Len=%d Pages=%d", r.Len(), r.Pages())
+	}
+	got, _ := r.Next()
+	if got != recs[0] {
+		t.Errorf("first record = %+v", got)
+	}
+}
+
+func TestLoadReplayErrors(t *testing.T) {
+	if _, err := LoadReplay("/nonexistent/file.trace"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.trace")
+	if err := os.WriteFile(bad, []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReplay(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}

@@ -1,0 +1,310 @@
+// Package walker implements the hardware page-table walker: the 1-D native
+// walk of Figure 2a, the 2-D nested walk of Figure 2b (up to 24 memory
+// accesses per miss), the paging-structure caches (PSC: PML4E/PDPE/PDE
+// entries per Table 2) that let walks start below the root, and the nested
+// TLB that short-circuits gPA→hPA translation of guest page-table
+// references, as AMD/Intel nested-paging hardware does.
+//
+// Every page-table entry the walker touches is issued through a MemoryPort
+// into the data-cache hierarchy as a Translation-typed access — this is the
+// mechanism by which translation traffic pollutes the data caches (§2.2).
+package walker
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/pagetable"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// MemoryPort is the walker's path into the cache hierarchy. Access issues
+// one cacheable read/write at the given time and returns its completion
+// time.
+type MemoryPort interface {
+	Access(now uint64, addr mem.PAddr, write bool, typ cache.LineType) uint64
+}
+
+// Space is one VM's translation state: the guest table maps gVA→gPA and the
+// host (EPT) table maps gPA→hPA. A native address space has Host == nil and
+// its Guest table maps straight to host physical.
+type Space struct {
+	Guest *pagetable.Table
+	Host  *pagetable.Table
+}
+
+// Virtualized reports whether the space needs 2-D walks.
+func (s *Space) Virtualized() bool { return s.Host != nil }
+
+// Config sizes the walker's caches (defaults follow Table 2).
+type Config struct {
+	// PSCSizes[l-1] is the entry count of the cache holding node frames
+	// for level l: index 0 = PDE cache (reaches L1 nodes), 1 = PDPE,
+	// 2 = PML4E.
+	PSCSizes      [3]int
+	PSCLatency    uint64 // cycles per PSC probe round
+	NestedEntries int    // nested (gPA→hPA) TLB entries
+	DisablePSC    bool   // ablation: walk from the root every time
+}
+
+// DefaultConfig returns the paper's PSC configuration: PDE 32, PDP 4,
+// PML4 2 entries, 2-cycle probes (Table 2).
+func DefaultConfig() Config {
+	return Config{PSCSizes: [3]int{32, 4, 2}, PSCLatency: 2, NestedEntries: 32}
+}
+
+// Stats aggregates walk activity.
+type Stats struct {
+	Walks       stats.Counter
+	WalkCycles  stats.RunningMean // per-walk latency (Table 1's metric)
+	MemAccesses stats.Counter     // PTE reads issued to the hierarchy
+	PSCHits     stats.Counter
+	NestedHits  stats.Counter
+	NestedWalks stats.Counter // host walks triggered by guest-PTE refs
+}
+
+// pscEntry caches "the node frame a walk for this region reaches at level L".
+type pscEntry struct {
+	asid  mem.ASID
+	key   uint64
+	frame mem.PAddr
+	seq   uint64
+	valid bool
+}
+
+// pscCache is one small fully-associative LRU cache of node frames.
+type pscCache struct {
+	entries []pscEntry
+	next    uint64
+}
+
+func newPSCCache(n int) *pscCache { return &pscCache{entries: make([]pscEntry, n)} }
+
+func (c *pscCache) lookup(asid mem.ASID, key uint64) (mem.PAddr, bool) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.asid == asid && e.key == key {
+			c.next++
+			e.seq = c.next
+			return e.frame, true
+		}
+	}
+	return 0, false
+}
+
+func (c *pscCache) insert(asid mem.ASID, key uint64, frame mem.PAddr) {
+	victim := 0
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.asid == asid && e.key == key {
+			e.frame = frame
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.seq < c.entries[victim].seq {
+			victim = i
+		}
+	}
+	c.next++
+	c.entries[victim] = pscEntry{asid: asid, key: key, frame: frame, seq: c.next, valid: true}
+}
+
+// nodeKey derives the PSC tag for the node at the given level: the virtual
+// bits above that node's reach.
+func nodeKey(v mem.VAddr, level int) uint64 {
+	return uint64(v) >> (mem.PageShift4K + 9*uint(level))
+}
+
+// Walker is one core's page-walk engine.
+type Walker struct {
+	port   MemoryPort
+	cfg    Config
+	spaces map[mem.ASID]*Space
+
+	guestPSC [3]*pscCache // index level-1: node levels 1..3
+	hostPSC  [3]*pscCache
+	nested   *pscCache // gPA 4K page → hPA frame
+	nested2M *pscCache // gPA 2MB region → hPA 2MB frame (huge EPT mappings)
+
+	steps     []pagetable.Step // reusable walk buffer
+	hostSteps []pagetable.Step
+
+	Stats Stats
+}
+
+// New builds a walker over the given memory port.
+func New(port MemoryPort, cfg Config) *Walker {
+	w := &Walker{port: port, cfg: cfg, spaces: make(map[mem.ASID]*Space)}
+	for i := 0; i < 3; i++ {
+		n := cfg.PSCSizes[i]
+		if n <= 0 {
+			n = 1
+		}
+		w.guestPSC[i] = newPSCCache(n)
+		w.hostPSC[i] = newPSCCache(n)
+	}
+	ne := cfg.NestedEntries
+	if ne <= 0 {
+		ne = 1
+	}
+	w.nested = newPSCCache(ne)
+	w.nested2M = newPSCCache(ne)
+	return w
+}
+
+// Register associates an address space with an ASID.
+func (w *Walker) Register(asid mem.ASID, s *Space) { w.spaces[asid] = s }
+
+// Space returns the registered space for asid.
+func (w *Walker) Space(asid mem.ASID) (*Space, bool) {
+	s, ok := w.spaces[asid]
+	return s, ok
+}
+
+// pscStart probes the PSC hierarchy deepest-first and returns the node
+// level a walk may start from: steps at levels above it are skipped.
+func (w *Walker) pscStart(psc *[3]*pscCache, asid mem.ASID, v mem.VAddr, maxLevel int) (level int, hit bool) {
+	if w.cfg.DisablePSC {
+		return 0, false
+	}
+	for l := 1; l <= 3 && l < maxLevel; l++ {
+		if _, ok := psc[l-1].lookup(asid, nodeKey(v, l)); ok {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// pscFill caches the node frames a completed walk discovered. Each step at
+// level L lives inside the node frame for level L.
+func (w *Walker) pscFill(psc *[3]*pscCache, asid mem.ASID, v mem.VAddr, steps []pagetable.Step) {
+	if w.cfg.DisablePSC {
+		return
+	}
+	for _, s := range steps {
+		if s.Level >= 1 && s.Level <= 3 {
+			frame := s.Addr &^ (mem.PageSize4K - 1)
+			psc[s.Level-1].insert(asid, nodeKey(v, s.Level), frame)
+		}
+	}
+}
+
+// hostTranslate resolves a gPA to an hPA, using the nested TLB and, on
+// miss, a host-dimension walk whose PTE reads go through the memory port.
+func (w *Walker) hostTranslate(now uint64, asid mem.ASID, s *Space, gpa mem.PAddr) (uint64, mem.PAddr, error) {
+	if frame, ok := w.nested2M.lookup(asid, uint64(gpa)>>mem.PageShift2M); ok {
+		w.Stats.NestedHits.Inc()
+		return now + 1, frame + mem.PAddr(uint64(gpa)&(mem.PageSize2M-1)), nil
+	}
+	gpaPage := uint64(gpa) >> mem.PageShift4K
+	if frame, ok := w.nested.lookup(asid, gpaPage); ok {
+		w.Stats.NestedHits.Inc()
+		return now + 1, frame + mem.PAddr(uint64(gpa)&(mem.PageSize4K-1)), nil
+	}
+	w.Stats.NestedWalks.Inc()
+	gva := mem.VAddr(gpa) // host table is indexed by gPA bits
+	level, hit := w.pscStart(&w.hostPSC, asid, gva, s.Host.Levels())
+	t := now + w.cfg.PSCLatency
+	if hit {
+		w.Stats.PSCHits.Inc()
+	}
+	w.hostSteps = w.hostSteps[:0]
+	var frame mem.PAddr
+	var size mem.PageSize
+	var ok bool
+	w.hostSteps, frame, size, ok = s.Host.Walk(gva, w.hostSteps)
+	if !ok {
+		return t, 0, fmt.Errorf("walker: gPA %#x unmapped in host table", gpa)
+	}
+	for _, st := range w.hostSteps {
+		if hit && st.Level > level {
+			continue // skipped via PSC
+		}
+		t = w.port.Access(t, st.Addr, false, cache.Translation)
+		w.Stats.MemAccesses.Inc()
+	}
+	w.pscFill(&w.hostPSC, asid, gva, w.hostSteps)
+	if size == mem.Page2M {
+		w.nested2M.insert(asid, uint64(gpa)>>mem.PageShift2M, frame)
+	} else {
+		w.nested.insert(asid, gpaPage, frame)
+	}
+	return t, frame + mem.PAddr(mem.PageOffset(mem.VAddr(gpa), size)), nil
+}
+
+// Result is a completed walk's outcome.
+type Result struct {
+	Done  uint64    // completion cycle
+	Frame mem.PAddr // host-physical frame of the translated page
+	Size  mem.PageSize
+}
+
+// Walk performs the full translation of v in asid's address space starting
+// at cycle now: a 1-D walk for native spaces, a 2-D nested walk for
+// virtualized ones. It returns the completion time and the final
+// host-physical frame.
+func (w *Walker) Walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
+	s, ok := w.spaces[asid]
+	if !ok {
+		return Result{}, fmt.Errorf("walker: no address space registered for ASID %d", asid)
+	}
+	w.Stats.Walks.Inc()
+
+	level, hit := w.pscStart(&w.guestPSC, asid, v, s.Guest.Levels())
+	t := now + w.cfg.PSCLatency
+	if hit {
+		w.Stats.PSCHits.Inc()
+	}
+
+	w.steps = w.steps[:0]
+	var frame mem.PAddr
+	var size mem.PageSize
+	w.steps, frame, size, ok = s.Guest.Walk(v, w.steps)
+	if !ok {
+		return Result{}, fmt.Errorf("walker: %#x unmapped for ASID %d", v, asid)
+	}
+
+	if !s.Virtualized() {
+		for _, st := range w.steps {
+			if hit && st.Level > level {
+				continue
+			}
+			t = w.port.Access(t, st.Addr, false, cache.Translation)
+			w.Stats.MemAccesses.Inc()
+		}
+		w.pscFill(&w.guestPSC, asid, v, w.steps)
+		w.Stats.WalkCycles.Observe(float64(t - now))
+		return Result{Done: t, Frame: frame, Size: size}, nil
+	}
+
+	// 2-D walk: each guest PTE reference is a gPA that must itself be
+	// translated through the host dimension before the access.
+	for _, st := range w.steps {
+		if hit && st.Level > level {
+			continue
+		}
+		var hpa mem.PAddr
+		var err error
+		t, hpa, err = w.hostTranslate(t, asid, s, st.Addr)
+		if err != nil {
+			return Result{}, err
+		}
+		t = w.port.Access(t, hpa, false, cache.Translation)
+		w.Stats.MemAccesses.Inc()
+	}
+	w.pscFill(&w.guestPSC, asid, v, w.steps)
+
+	// Final host walk: translate the leaf gPA frame to its hPA frame
+	// (Figure 2b's fifth host walk).
+	gpaOfPage := frame + mem.PAddr(mem.PageOffset(v, size)&^uint64(mem.PageSize4K-1))
+	t, finalHPA, err := w.hostTranslate(t, asid, s, gpaOfPage)
+	if err != nil {
+		return Result{}, err
+	}
+	w.Stats.WalkCycles.Observe(float64(t - now))
+	return Result{Done: t, Frame: finalHPA &^ (mem.PageSize4K - 1), Size: mem.Page4K}, nil
+}

@@ -1,0 +1,316 @@
+package walker
+
+import (
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/pagetable"
+)
+
+// fakePort records accesses and charges a fixed latency per access.
+type fakePort struct {
+	lat   uint64
+	addrs []mem.PAddr
+	types []cache.LineType
+}
+
+func (p *fakePort) Access(now uint64, addr mem.PAddr, write bool, typ cache.LineType) uint64 {
+	p.addrs = append(p.addrs, addr)
+	p.types = append(p.types, typ)
+	return now + p.lat
+}
+
+// buildNative returns a native space with one mapped page.
+func buildNative(t *testing.T) (*Space, mem.VAddr, mem.PAddr) {
+	t.Helper()
+	alloc := mem.NewFrameAllocator(0x100000000, 64<<20, false)
+	tbl, err := pagetable.New(alloc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mem.VAddr(0x7f0000400000)
+	frame := mem.PAddr(0x2000000)
+	if err := tbl.Map(v, frame, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	return &Space{Guest: tbl}, v, frame
+}
+
+// buildVirt returns a virtualized space with one gVA→gPA→hPA chain. All
+// guest-table node frames (gPAs) are themselves EPT-mapped.
+func buildVirt(t *testing.T) (*Space, mem.VAddr, mem.PAddr) {
+	t.Helper()
+	gAlloc := mem.NewFrameAllocator(0x40000000, 64<<20, false) // gPA domain
+	hAlloc := mem.NewFrameAllocator(0x100000000, 64<<20, false)
+
+	guest, err := pagetable.New(gAlloc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := pagetable.New(hAlloc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mem.VAddr(0x7f0000400000)
+	gpa := mem.PAddr(0x48000000)
+	if err := guest.Map(v, gpa, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	// EPT-map the data gPA and every guest-table node frame.
+	hFrame := mem.PAddr(0x200000000)
+	if err := host.Map(mem.VAddr(gpa), hFrame, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	hData := mem.PAddr(0x210000000)
+	for i, nodeGPA := 0, gAlloc.Base(); nodeGPA < gAlloc.Base()+mem.PAddr(uint64(guest.NodeCount())*mem.PageSize4K); i, nodeGPA = i+1, nodeGPA+mem.PageSize4K {
+		if err := host.Map(mem.VAddr(nodeGPA), hData+mem.PAddr(i)*mem.PageSize4K, mem.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Space{Guest: guest, Host: host}, v, hFrame
+}
+
+func TestNativeWalk(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	space, v, frame := buildNative(t)
+	w.Register(1, space)
+
+	res, err := w.Walk(100, v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame != frame {
+		t.Errorf("frame = %#x, want %#x", res.Frame, frame)
+	}
+	if len(port.addrs) != 4 {
+		t.Errorf("native cold walk issued %d accesses, want 4", len(port.addrs))
+	}
+	for _, typ := range port.types {
+		if typ != cache.Translation {
+			t.Error("walk access not typed Translation")
+		}
+	}
+	// Latency: PSC probe + 4 sequential accesses.
+	wantDone := uint64(100) + w.cfg.PSCLatency + 4*10
+	if res.Done != wantDone {
+		t.Errorf("done = %d, want %d", res.Done, wantDone)
+	}
+	if w.Stats.Walks.Value() != 1 || w.Stats.MemAccesses.Value() != 4 {
+		t.Errorf("stats = %d walks / %d accesses", w.Stats.Walks.Value(), w.Stats.MemAccesses.Value())
+	}
+}
+
+func TestPSCShortensRepeatWalk(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	space, v, _ := buildNative(t)
+	w.Register(1, space)
+
+	if _, err := w.Walk(0, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	cold := len(port.addrs)
+	port.addrs = port.addrs[:0]
+	// Second walk of the same page: the PDE cache supplies the L1 node, so
+	// only the leaf PTE is read.
+	if _, err := w.Walk(0, v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(port.addrs) != 1 {
+		t.Errorf("warm walk issued %d accesses, want 1 (cold was %d)", len(port.addrs), cold)
+	}
+	if w.Stats.PSCHits.Value() == 0 {
+		t.Error("PSC hit not recorded")
+	}
+}
+
+func TestDisablePSC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisablePSC = true
+	port := &fakePort{lat: 10}
+	w := New(port, cfg)
+	space, v, _ := buildNative(t)
+	w.Register(1, space)
+	w.Walk(0, v, 1)
+	w.Walk(0, v, 1)
+	if len(port.addrs) != 8 {
+		t.Errorf("PSC-disabled walks issued %d accesses, want 8", len(port.addrs))
+	}
+}
+
+func TestVirtualizedWalkAccessCount(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	space, v, hFrame := buildVirt(t)
+	w.Register(2, space)
+
+	res, err := w.Walk(0, v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame != hFrame {
+		t.Errorf("frame = %#x, want %#x", res.Frame, hFrame)
+	}
+	// Cold 2-D walk: 4 guest PTE reads, each preceded by a host walk
+	// (≤4 reads), plus a final host walk — up to 24 accesses, and more
+	// than a native walk's 4 in any case. Nested-TLB reuse across the
+	// guest levels (all guest nodes sit in adjacent gPA pages) legitimately
+	// removes some host walks.
+	if len(port.addrs) <= 4 {
+		t.Errorf("virtualized cold walk issued only %d accesses", len(port.addrs))
+	}
+	if len(port.addrs) > 24 {
+		t.Errorf("virtualized walk issued %d accesses, must be <= 24", len(port.addrs))
+	}
+}
+
+func TestVirtualizedRepeatWalkUsesNestedTLB(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	space, v, _ := buildVirt(t)
+	w.Register(2, space)
+
+	w.Walk(0, v, 2)
+	cold := len(port.addrs)
+	port.addrs = port.addrs[:0]
+	w.Walk(0, v, 2)
+	warm := len(port.addrs)
+	if warm >= cold {
+		t.Errorf("warm 2-D walk (%d accesses) not shorter than cold (%d)", warm, cold)
+	}
+	if w.Stats.NestedHits.Value() == 0 {
+		t.Error("nested TLB never hit")
+	}
+}
+
+func TestWalkErrors(t *testing.T) {
+	w := New(&fakePort{lat: 1}, DefaultConfig())
+	if _, err := w.Walk(0, 0x1000, 9); err == nil {
+		t.Error("walk with unregistered ASID succeeded")
+	}
+	space, _, _ := buildNative(t)
+	w.Register(1, space)
+	if _, err := w.Walk(0, 0xdeadbeef000, 1); err == nil {
+		t.Error("walk of unmapped address succeeded")
+	}
+}
+
+func TestWalkCyclesRecorded(t *testing.T) {
+	port := &fakePort{lat: 50}
+	w := New(port, DefaultConfig())
+	space, v, _ := buildNative(t)
+	w.Register(1, space)
+	w.Walk(0, v, 1)
+	if w.Stats.WalkCycles.N() != 1 || w.Stats.WalkCycles.Mean() < 200 {
+		t.Errorf("walk cycles = %v (n=%d), want >= 200", w.Stats.WalkCycles.Mean(), w.Stats.WalkCycles.N())
+	}
+}
+
+func TestASIDIsolationInPSC(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	s1, v, _ := buildNative(t)
+	w.Register(1, s1)
+	// Second space, same virtual address, different tables.
+	s2, v2, _ := buildNative(t)
+	if v2 != v {
+		t.Fatal("test setup: expected identical virtual addresses")
+	}
+	w.Register(2, s2)
+
+	w.Walk(0, v, 1)
+	port.addrs = port.addrs[:0]
+	// ASID 2's walk must not use ASID 1's PSC entries: full 4 accesses.
+	w.Walk(0, v, 2)
+	if len(port.addrs) != 4 {
+		t.Errorf("cross-ASID walk issued %d accesses, want 4", len(port.addrs))
+	}
+}
+
+func TestSpaceAccessors(t *testing.T) {
+	w := New(&fakePort{}, DefaultConfig())
+	s, _, _ := buildNative(t)
+	w.Register(5, s)
+	got, ok := w.Space(5)
+	if !ok || got != s {
+		t.Error("Space accessor failed")
+	}
+	if _, ok := w.Space(6); ok {
+		t.Error("unregistered ASID resolved")
+	}
+	if s.Virtualized() {
+		t.Error("native space reports virtualized")
+	}
+	vs, _, _ := buildVirt(t)
+	if !vs.Virtualized() {
+		t.Error("virtualized space reports native")
+	}
+}
+
+// buildVirt5 builds a virtualized space with 5-level tables in both
+// dimensions.
+func TestFiveLevelVirtualizedWalk(t *testing.T) {
+	gAlloc := mem.NewFrameAllocator(0x40000000, 64<<20, false)
+	hAlloc := mem.NewFrameAllocator(0x100000000, 64<<20, false)
+	guest, err := pagetable.New(gAlloc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := pagetable.New(hAlloc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mem.VAddr(0x1FF0000400000) // beyond 48-bit reach
+	gpa := mem.PAddr(0x48000000)
+	if err := guest.Map(v, gpa, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if err := host.Map(mem.VAddr(gpa), 0x200000000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < guest.NodeCount(); i++ {
+		nodeGPA := gAlloc.Base() + mem.PAddr(i)*mem.PageSize4K
+		if err := host.Map(mem.VAddr(nodeGPA), 0x210000000+mem.PAddr(i)*mem.PageSize4K, mem.Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	w.Register(3, &Space{Guest: guest, Host: host})
+	res, err := w.Walk(0, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame != 0x200000000 {
+		t.Errorf("frame = %#x", res.Frame)
+	}
+	// A cold 5x5 nested walk may touch up to 5 + 6*5 = 35 entries; it must
+	// at least exceed the 4-level bound of 24 given cold caches.
+	if len(port.addrs) <= 5 {
+		t.Errorf("5-level nested walk issued only %d accesses", len(port.addrs))
+	}
+}
+
+// TestPSCDeepestWins: when both PDE- and PDPE-level entries are cached,
+// the walk starts from the deepest (PDE) one.
+func TestPSCDeepestWins(t *testing.T) {
+	port := &fakePort{lat: 10}
+	w := New(port, DefaultConfig())
+	space, v, _ := buildNative(t)
+	w.Register(1, space)
+	w.Walk(0, v, 1) // fills all PSC levels
+	port.addrs = port.addrs[:0]
+	// Same 2MB region, different page: PDE hit => exactly one PTE access.
+	v2 := v + mem.PageSize4K
+	if err := space.Guest.Map(v2, 0x3000000, mem.Page4K); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Walk(0, v2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(port.addrs) != 1 {
+		t.Errorf("PDE-cached walk issued %d accesses, want 1", len(port.addrs))
+	}
+}

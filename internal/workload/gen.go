@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/trace"
+)
+
+const (
+	linesPerPage = mem.PageSize4K / mem.LineSize // 64
+	wordsPerLine = mem.LineSize / 8              // 8
+
+	// localRegionPages is the size of the thread-local "stack" region that
+	// receives localFrac of the references; it fits comfortably in L1D,
+	// modelling the register-spill/locals traffic real code mixes into its
+	// data accesses.
+	localRegionPages = 4
+	// localFrac is the probability that any given reference targets the
+	// local region instead of the visit's data line.
+	localFrac = 0.2
+)
+
+// visitGen is the common generator engine. It produces "visits": short
+// bursts of line-local references to a page chosen from either a drifting
+// hot window or the whole footprint. Sequential benchmarks thread a line
+// cursor through the region instead of choosing random lines; phased
+// benchmarks alternate between their calibrated profile and a global
+// random-scatter phase.
+type visitGen struct {
+	prof   Tuning
+	global Tuning // phase-B behaviour for phased benchmarks
+	p      Params
+	rng    *RNG
+
+	pages uint64 // scaled footprint in pages
+	hot   uint64 // hot window size, clamped to pages
+	hot2  uint64 // warm tier size, clamped so hot+hot2 <= pages
+
+	winStart uint64 // hot window base page
+	visits   uint64 // visits generated so far
+	seqLine  uint64 // sequential cursor, in lines from region base
+
+	warmPage uint64 // current warm-tier page during a burst
+	warmLeft int    // remaining visits in the burst
+
+	localBase mem.VAddr
+
+	// pending references for the current visit
+	buf  [96]trace.Record
+	bufN int
+	bufI int
+}
+
+func newVisitGen(prof Tuning, p Params) *visitGen {
+	if prof.VASpread == 0 {
+		prof.VASpread = 1
+	}
+	g := &visitGen{
+		prof:      prof,
+		p:         p,
+		rng:       NewRNG(p.Seed),
+		pages:     p.scaled(prof.PagesTotal),
+		localBase: p.Base + mem.VAddr(p.scaled(prof.PagesTotal)*prof.VASpread*mem.PageSize4K),
+	}
+	g.hot = prof.HotPages
+	if g.hot > g.pages {
+		g.hot = g.pages
+	}
+	if g.hot == 0 {
+		g.hot = 1
+	}
+	g.hot2 = prof.Hot2Pages
+	if g.hot+g.hot2 > g.pages {
+		g.hot2 = g.pages - g.hot
+	}
+	// Phase B for phased benchmarks: the active-list rebuild — scattered
+	// single-line stores across the entire footprint. This is what makes
+	// connectedcomponent's translation behaviour the worst in the suite.
+	g.global = prof
+	g.global.PHot = 0.08
+	g.global.LinesPerVisit = 1
+	g.global.RefsPerLine = 2
+	g.global.StoreFrac = 0.5
+	g.global.MeanGap = 2.0
+	return g
+}
+
+// inGlobalPhase reports whether a phased benchmark is currently in its
+// scatter phase; the cycle is phaseLen local visits followed by
+// phaseGlobal global visits.
+func (g *visitGen) inGlobalPhase() bool {
+	if !g.prof.Phased || g.prof.PhaseLen == 0 {
+		return false
+	}
+	global := g.prof.PhaseGlobal
+	if global == 0 {
+		global = g.prof.PhaseLen
+	}
+	return g.visits%(g.prof.PhaseLen+global) >= g.prof.PhaseLen
+}
+
+// vaPage places footprint page p in virtual-address space. With VASpread
+// > 1, each page sits at a hash-jittered position inside its own
+// spread-sized arena: sparse like a fragmented heap, but without the
+// pathological set-index striding a fixed stride would produce.
+func (g *visitGen) vaPage(p uint64) uint64 {
+	spread := g.prof.VASpread
+	if spread <= 1 {
+		return p
+	}
+	h := p * 0xD1B54A32D192ED03
+	return p*spread + (h>>40)%spread
+}
+
+// hotPage maps a hot-window ordinal to a page: contiguous from the
+// drifting window start, or scattered across the footprint via a fixed
+// odd-multiplier permutation when the profile asks for it.
+func (g *visitGen) hotPage(i uint64) uint64 {
+	page := (g.winStart + i) % g.pages
+	if !g.prof.HotScatter {
+		return page
+	}
+	const mult = 0x9E3779B97F4A7C15 | 1
+	return (page * mult) % g.pages
+}
+
+// emit appends one reference to the visit buffer.
+func (g *visitGen) emit(addr mem.VAddr, store bool, gap float64) {
+	kind := trace.Load
+	if store {
+		kind = trace.Store
+	}
+	g.buf[g.bufN] = trace.Record{
+		Kind:   kind,
+		Addr:   addr,
+		ASID:   g.p.ASID,
+		NonMem: g.rng.Geometric(gap),
+	}
+	g.bufN++
+}
+
+// genVisit fills the buffer with the references of one visit.
+func (g *visitGen) genVisit() {
+	g.bufN, g.bufI = 0, 0
+	prof := g.prof
+	if g.inGlobalPhase() {
+		prof = g.global
+	}
+	g.visits++
+	if prof.DriftPeriod > 0 && g.visits%prof.DriftPeriod == 0 {
+		g.winStart = (g.winStart + 1) % g.pages
+	}
+
+	sequential := prof.SeqRunLines > 0 && g.rng.Bool(0.5)
+	nPages := prof.PagesPerVisit
+	if nPages < 1 {
+		nPages = 1
+	}
+	for pv := 0; pv < nPages; pv++ {
+		var page, line uint64
+		if !sequential {
+			u := g.rng.Float64()
+			switch {
+			case prof.ZipfExp > 0:
+				rank := uint64(float64(g.pages) * math.Pow(u, prof.ZipfExp))
+				if rank >= g.pages {
+					rank = g.pages - 1
+				}
+				page = g.hotPage(rank)
+			case u < prof.PHot:
+				page = g.hotPage(g.rng.Uint64n(g.hot))
+			case g.hot2 > 0 && u < prof.PHot+prof.PHot2:
+				if g.warmLeft > 0 {
+					g.warmLeft--
+					page = g.warmPage
+				} else {
+					page = g.hotPage(g.hot + g.rng.Uint64n(g.hot2))
+					g.warmPage = page
+					if prof.WarmBurst > 1 {
+						g.warmLeft = prof.WarmBurst - 1
+					}
+				}
+			default:
+				page = g.rng.Uint64n(g.pages)
+			}
+		}
+		// Random visits touch a page's "object": a fixed, page-determined
+		// run of lines (a node structure lives at a fixed offset), so
+		// revisited pages also revisit lines — the line-level reuse that
+		// lets L1/L2 filter data traffic while the page working set still
+		// overwhelms the TLBs (the disparity behind Figure 3).
+		objBase := uint64(0)
+		if !sequential {
+			if prof.RandomLine {
+				objBase = g.rng.Uint64n(uint64(linesPerPage - prof.LinesPerVisit + 1))
+			} else {
+				h := page * 0x9E3779B97F4A7C15
+				objBase = (h >> 32) % uint64(linesPerPage-prof.LinesPerVisit+1)
+			}
+		}
+		for l := 0; l < prof.LinesPerVisit; l++ {
+			if sequential {
+				page = (g.seqLine / linesPerPage) % g.pages
+				line = g.seqLine % linesPerPage
+				g.seqLine++
+				if g.seqLine%uint64(prof.SeqRunLines) == 0 {
+					// End of a run: hop to a new streaming position so
+					// several logical streams interleave, as they do in a
+					// blocked sequential kernel.
+					g.seqLine = g.rng.Uint64n(g.pages) * linesPerPage
+				}
+			} else {
+				line = objBase + uint64(l)
+			}
+			base := g.p.Base + mem.VAddr(g.vaPage(page)*mem.PageSize4K+line*mem.LineSize)
+			off := g.rng.Uint64n(uint64(wordsPerLine - prof.RefsPerLine + 1))
+			for r := 0; r < prof.RefsPerLine; r++ {
+				// Interleave occasional local-region (stack) references.
+				if g.rng.Bool(localFrac) {
+					laddr := g.localBase + mem.VAddr(g.rng.Uint64n(localRegionPages*mem.PageSize4K/8)*8)
+					g.emit(laddr, g.rng.Bool(0.4), prof.MeanGap)
+				}
+				store := r == prof.RefsPerLine-1 && g.rng.Bool(prof.StoreFrac)
+				g.emit(base+mem.VAddr((off+uint64(r))*8), store, prof.MeanGap)
+			}
+		}
+	}
+}
+
+// Next implements trace.Source; the stream is endless.
+func (g *visitGen) Next() (trace.Record, bool) {
+	if g.bufI >= g.bufN {
+		g.genVisit()
+	}
+	r := g.buf[g.bufI]
+	g.bufI++
+	return r, true
+}
+
+// FootprintPages reports the scaled footprint, including the local region.
+func (g *visitGen) FootprintPages() uint64 { return g.pages + localRegionPages }
+
+// VisitFootprint calls f with the first byte of every page the generator
+// can ever touch. The simulator uses it to pre-populate translations,
+// modelling the steady state the paper's 10-billion-instruction runs reach
+// (compulsory translation misses are negligible there).
+func (g *visitGen) VisitFootprint(f func(mem.VAddr)) {
+	for p := uint64(0); p < g.pages; p++ {
+		f(g.p.Base + mem.VAddr(g.vaPage(p)*mem.PageSize4K))
+	}
+	for p := uint64(0); p < localRegionPages; p++ {
+		f(g.localBase + mem.VAddr(p*mem.PageSize4K))
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import "fmt"
+
+// Mix is one of the paper's evaluated workload compositions: two 8-thread
+// virtual machines co-scheduled on the same cores (Table 3 plus the
+// homogeneous pairs — "when we refer to a single benchmark, we refer to two
+// instances of the benchmark co-scheduled", §5.1 footnote).
+type Mix struct {
+	ID  string // the label used on the paper's x-axes
+	VM1 Name
+	VM2 Name
+}
+
+// Mixes returns the ten workload compositions of Figures 7–16 in x-axis
+// order.
+func Mixes() []Mix {
+	return []Mix{
+		{"canneal", Canneal, Canneal},
+		{"can_ccomp", Canneal, CComp},
+		{"can_stream", Canneal, StreamCluster},
+		{"ccomp", CComp, CComp},
+		{"graph500", Graph500, Graph500},
+		{"graph500_gups", Graph500, GUPS},
+		{"gups", GUPS, GUPS},
+		{"pagerank", PageRank, PageRank},
+		{"page_stream", PageRank, StreamCluster},
+		{"streamcluster", StreamCluster, StreamCluster},
+	}
+}
+
+// MixByID looks up a mix by its paper label.
+func MixByID(id string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", id)
+}
+
+// Singles returns the six benchmarks as single-workload "mixes" (one VM),
+// used by Table 1's native-vs-virtualized walk-cost measurement.
+func Singles() []Mix {
+	out := make([]Mix, 0, 6)
+	for _, n := range All() {
+		out = append(out, Mix{ID: string(n), VM1: n})
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package workload
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64) used by
+// all workload generators. Determinism matters: two simulator runs with the
+// same configuration must replay identical reference streams so that scheme
+// comparisons (Fig. 7, 13, …) see exactly the same workload.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	// Avoid the all-zero state producing a weak early sequence by mixing
+	// the seed once through the output function.
+	r := &RNG{state: seed + 0x9E3779B97F4A7C15}
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 random bits (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("workload: Uint64n(0)")
+	}
+	// Multiply-shift rejection-free mapping; bias is negligible for the
+	// simulator's n values (all far below 2^48).
+	hi, _ := mul64(r.Uint64(), n)
+	return hi
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Uint64n(uint64(n))) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (number of failures before success). Used for non-memory instruction
+// gaps, which are bursty rather than constant in real code.
+func (r *RNG) Geometric(mean float64) uint32 {
+	if mean <= 0 {
+		return 0
+	}
+	// Inverse-CDF sampling: X = floor(ln(U)/ln(1-p)) with p = 1/(mean+1).
+	// Approximate cheaply: sum of a bounded number of Bernoulli runs is
+	// overkill; use the ratio trick on a uniform sample.
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	p := 1 / (mean + 1)
+	x := math.Log(u) / math.Log(1-p)
+	if x < 0 {
+		return 0
+	}
+	if x > 1<<20 {
+		return 1 << 20
+	}
+	return uint32(x)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	return a1*b1 + t>>32 + w1>>32, a * b
+}
