@@ -1,0 +1,40 @@
+# Tier-1 verification and the correctness layer around the parallel
+# experiment engine. `make check` is the pre-merge gate.
+
+GO ?= go
+
+.PHONY: build test test-short race race-short fuzz golden-update bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Full race run: includes the parallel-determinism test (fig7 at tiny
+# scale under 1 and 8 workers) and the micro-scale engine sweeps.
+race:
+	$(GO) test -race ./...
+
+# Quick race smoke: the short-mode subset still runs TestRaceSmoke, which
+# executes a concurrent experiment pair through the worker pool.
+race-short:
+	$(GO) test -race -short ./...
+
+# Bounded fuzz pass over the workload generators (footprint containment
+# and seed determinism). Extend -fuzztime for deeper soaks.
+fuzz:
+	$(GO) test ./internal/workload/ -fuzz FuzzGenerator -fuzztime 30s
+
+# Regenerate the golden experiment tables after an intended change to
+# simulator behaviour or table formatting.
+golden-update:
+	$(GO) test ./internal/experiment/ -run TestGoldenTables -update
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+check: build test race-short

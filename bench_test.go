@@ -43,7 +43,7 @@ func benchExperiment(b *testing.B, id, metricName string) {
 				}
 			}
 		}
-		sims = runner.Runs
+		sims = runner.NumRuns()
 	}
 	if metric != 0 {
 		b.ReportMetric(metric, metricName)

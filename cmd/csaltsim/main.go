@@ -1,13 +1,17 @@
-// Command csaltsim runs one simulated configuration and prints its
+// Command csaltsim runs simulated configurations and prints their
 // measurements.
 //
 //	csaltsim -mix ccomp -scheme csalt-cd
 //	csaltsim -mix graph500_gups -org conventional -contexts 4 -cores 8
 //	csaltsim -vm1 canneal -vm2 gups -scheme csalt-d -refs 500000
+//	csaltsim -mix ccomp,gups,canneal -scheme csalt-cd -parallel 4
 //
 // All of Table 2's machine parameters are built in; the flags select the
 // workload, translation organisation, cache-management scheme and run
-// length.
+// length. -mix accepts a comma-separated list: the mixes share every other
+// flag, run concurrently across -parallel workers, and print in the order
+// given (each simulation is independent and deterministic, so the output
+// does not depend on the parallelism level).
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"github.com/csalt-sim/csalt"
 )
@@ -26,7 +32,7 @@ func fail(format string, args ...interface{}) {
 
 func main() {
 	var (
-		mixID    = flag.String("mix", "", "paper mix id (e.g. ccomp, graph500_gups); overrides -vm1/-vm2")
+		mixID    = flag.String("mix", "", "paper mix id(s), comma separated (e.g. ccomp or ccomp,gups); overrides -vm1/-vm2")
 		vm1      = flag.String("vm1", "gups", "benchmark for VM 1")
 		vm2      = flag.String("vm2", "", "benchmark for VM 2 (defaults to vm1)")
 		org      = flag.String("org", "pom", "translation organisation: conventional | pom | tsb")
@@ -39,28 +45,57 @@ func main() {
 		warmup   = flag.Uint64("warmup", 60_000, "warmup references per core")
 		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently when -mix lists several")
 		history  = flag.Bool("history", false, "print the per-epoch partition trace")
-		jsonOut  = flag.Bool("json", false, "emit the full Results struct as JSON")
+		jsonOut  = flag.Bool("json", false, "emit the full Results struct(s) as JSON")
 	)
 	flag.Parse()
 
-	cfg := csalt.DefaultConfig()
-	cfg.Cores = *cores
-	cfg.ContextsPerCore = *contexts
-	cfg.Virtualized = !*native
-	cfg.MaxRefsPerCore = *refs
-	cfg.WarmupRefs = *warmup
-	cfg.Scale = *scale
-	cfg.Seed = *seed
-	cfg.DIP = *dip
-	cfg.RecordHistory = *history
+	base := csalt.DefaultConfig()
+	base.Cores = *cores
+	base.ContextsPerCore = *contexts
+	base.Virtualized = !*native
+	base.MaxRefsPerCore = *refs
+	base.WarmupRefs = *warmup
+	base.Scale = *scale
+	base.Seed = *seed
+	base.DIP = *dip
+	base.RecordHistory = *history
 
+	switch *org {
+	case "conventional":
+		base.Org = csalt.OrgConventional
+	case "pom":
+		base.Org = csalt.OrgPOM
+	case "tsb":
+		base.Org = csalt.OrgTSB
+	default:
+		fail("unknown org %q", *org)
+	}
+	switch *scheme {
+	case "none":
+		base.Scheme = csalt.SchemeNone
+	case "static":
+		base.Scheme = csalt.SchemeStatic
+	case "csalt-d":
+		base.Scheme = csalt.SchemeCSALTD
+	case "csalt-cd":
+		base.Scheme = csalt.SchemeCSALTCD
+	default:
+		fail("unknown scheme %q", *scheme)
+	}
+
+	var cfgs []csalt.Config
 	if *mixID != "" {
-		mix, err := csalt.MixByID(*mixID)
-		if err != nil {
-			fail("%v", err)
+		for _, id := range strings.Split(*mixID, ",") {
+			mix, err := csalt.MixByID(strings.TrimSpace(id))
+			if err != nil {
+				fail("%v", err)
+			}
+			cfg := base
+			cfg.Mix = mix
+			cfgs = append(cfgs, cfg)
 		}
-		cfg.Mix = mix
 	} else {
 		b1, err := csalt.ParseBenchmark(*vm1)
 		if err != nil {
@@ -72,33 +107,12 @@ func main() {
 				fail("%v", err)
 			}
 		}
+		cfg := base
 		cfg.Mix = csalt.Mix{ID: fmt.Sprintf("%s_%s", b1, b2), VM1: b1, VM2: b2}
+		cfgs = append(cfgs, cfg)
 	}
 
-	switch *org {
-	case "conventional":
-		cfg.Org = csalt.OrgConventional
-	case "pom":
-		cfg.Org = csalt.OrgPOM
-	case "tsb":
-		cfg.Org = csalt.OrgTSB
-	default:
-		fail("unknown org %q", *org)
-	}
-	switch *scheme {
-	case "none":
-		cfg.Scheme = csalt.SchemeNone
-	case "static":
-		cfg.Scheme = csalt.SchemeStatic
-	case "csalt-d":
-		cfg.Scheme = csalt.SchemeCSALTD
-	case "csalt-cd":
-		cfg.Scheme = csalt.SchemeCSALTCD
-	default:
-		fail("unknown scheme %q", *scheme)
-	}
-
-	res, err := csalt.Run(cfg)
+	results, err := csalt.RunMany(cfgs, *parallel)
 	if err != nil {
 		fail("simulation failed: %v", err)
 	}
@@ -106,12 +120,25 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fail("encoding results: %v", err)
+		for _, res := range results {
+			if err := enc.Encode(res); err != nil {
+				fail("encoding results: %v", err)
+			}
 		}
 		return
 	}
 
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(cfgs[i], res, *history)
+	}
+}
+
+// report prints one configuration's measurements in the tool's standard
+// key-value layout.
+func report(cfg csalt.Config, res *csalt.Results, history bool) {
 	fmt.Printf("mix=%s org=%s scheme=%s cores=%d contexts=%d virtualized=%v\n",
 		cfg.Mix.ID, res.OrgName, res.SchemeName, cfg.Cores, cfg.ContextsPerCore, cfg.Virtualized)
 	fmt.Printf("IPC (geomean)            %8.4f\n", res.IPCGeomean)
@@ -130,7 +157,7 @@ func main() {
 	fmt.Printf("translation stall frac   %7.1f%%\n", 100*res.TranslateStallFrac)
 	fmt.Printf("pages touched            %8d\n", res.TouchedPages)
 
-	if *history {
+	if history {
 		fmt.Println("\nepoch  L2 TLB frac  L3 TLB frac")
 		n := len(res.PartitionHistoryL3)
 		if len(res.PartitionHistoryL2) < n {

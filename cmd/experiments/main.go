@@ -2,18 +2,24 @@
 //
 //	experiments -list
 //	experiments -run fig7 -scale small
-//	experiments -run all -scale paper
+//	experiments -run all -scale paper -parallel 8
 //
 // Scales trade fidelity for time: "tiny" (seconds, 2 cores), "small"
 // (default; full 8-core machine, scaled footprints), "paper" (full
 // calibrated footprints; minutes per figure). See EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
+//
+// Simulations fan out across -parallel workers (default: all CPUs). The
+// independent units are (workload mix × configuration) simulations; the
+// rendered tables are merged in deterministic order and are byte-identical
+// at every parallelism level, including -parallel 1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +31,8 @@ func main() {
 		list        = flag.Bool("list", false, "list available experiments")
 		run         = flag.String("run", "", "experiment id to run, or 'all'")
 		scale       = flag.String("scale", "small", "tiny | small | paper")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently (<=1 for sequential)")
+		quiet       = flag.Bool("quiet", false, "suppress the per-job progress/ETA line on stderr")
 		paperValues = flag.Bool("paper-values", false, "print the paper's reported values (optionally filtered by -run) and exit")
 	)
 	flag.Parse()
@@ -55,7 +63,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	runner := experiment.NewRunner(sc)
 
 	var todo []experiment.Experiment
 	if *run == "all" {
@@ -71,9 +78,34 @@ func main() {
 		}
 	}
 
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	eng := experiment.NewEngine(sc, *parallel)
+	if !*quiet {
+		eng.Progress = progressLine
+	}
+
+	// One shared job pool for every requested experiment: baselines common
+	// to several figures (e.g. the POM-TLB runs of Figs. 7/8/10/11) are
+	// simulated once, and the pool keeps every worker busy across
+	// experiment boundaries.
+	jobs := eng.Jobs(todo...)
+	start := time.Now()
+	if err := eng.Execute(jobs); err != nil {
+		if !*quiet {
+			clearProgress()
+		}
+		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		clearProgress()
+	}
+	simElapsed := time.Since(start)
+
 	for _, e := range todo {
-		start := time.Now()
-		table, err := e.Run(runner)
+		table, err := e.Run(eng.Runner)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
@@ -81,6 +113,20 @@ func main() {
 		fmt.Printf("# %s — %s\n", e.ID, e.Title)
 		fmt.Printf("# paper: %s\n", e.PaperClaim)
 		table.Render(os.Stdout)
-		fmt.Printf("# scale=%s elapsed=%s simulations=%d\n\n", sc.Name, time.Since(start).Round(time.Millisecond), runner.Runs)
+		fmt.Println()
 	}
+	fmt.Printf("# scale=%s parallel=%d elapsed=%s simulations=%d\n",
+		sc.Name, *parallel, simElapsed.Round(time.Millisecond), eng.Runner.NumRuns())
+}
+
+// progressLine rewrites one stderr status line per completed job.
+func progressLine(p experiment.Progress) {
+	fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d] %s %s (eta %s)",
+		p.Done, p.Total, p.Label,
+		p.Elapsed.Round(time.Millisecond), p.ETA().Round(time.Second))
+}
+
+// clearProgress erases the status line so tables start on a clean row.
+func clearProgress() {
+	fmt.Fprint(os.Stderr, "\r\033[K")
 }

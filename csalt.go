@@ -19,6 +19,10 @@
 package csalt
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
+
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/core"
 	"github.com/csalt-sim/csalt/internal/sim"
@@ -83,6 +87,63 @@ func Run(cfg Config) (*Results, error) {
 		return nil, err
 	}
 	return s.Run()
+}
+
+// RunMany executes several independent configurations across a bounded
+// worker pool and returns their results in input order. Each simulation
+// owns its entire world, so runs neither share state nor perturb each
+// other; results are deterministic per configuration regardless of
+// parallelism. parallel <= 0 selects one worker per CPU. The first
+// simulation error is returned (with its input index) after in-flight
+// runs drain; configurations not yet started are then skipped and their
+// result slots left nil.
+func RunMany(cfgs []Config, parallel int) ([]*Results, error) {
+	results := make([]*Results, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(cfgs) {
+		parallel = len(cfgs)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				res, err := Run(cfgs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("csalt: configuration %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results, firstErr
 }
 
 // Mixes returns the paper's ten workload compositions in x-axis order.

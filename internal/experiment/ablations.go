@@ -21,43 +21,74 @@ func init() {
 		ID:         "ablation-static",
 		Title:      "Static vs dynamic partitioning",
 		PaperClaim: "footnote 6: no single static split performs well across workloads",
+		Jobs:       jobsAblationStatic,
 		Run:        runAblationStatic,
 	})
 	register(Experiment{
 		ID:         "ablation-policy",
 		Title:      "Replacement policy and profiler mode (3.4)",
 		PaperClaim: "pseudo-LRU estimates cost only minor performance vs true LRU",
+		Jobs:       jobsAblationPolicy,
 		Run:        runAblationPolicy,
 	})
 	register(Experiment{
 		ID:         "ablation-psc",
 		Title:      "Page-walk cost with and without MMU (PSC) caches",
 		PaperClaim: "PSCs shorten walks substantially (background, 2.1)",
+		Jobs:       jobsAblationPSC,
 		Run:        runAblationPSC,
 	})
 	register(Experiment{
 		ID:         "ablation-pom-placement",
 		Title:      "POM-TLB in die-stacked DRAM vs off-chip DDR4",
 		PaperClaim: "the die-stacked placement is part of POM-TLB's advantage",
+		Jobs:       jobsAblationPOMPlacement,
 		Run:        runAblationPOMPlacement,
 	})
 	register(Experiment{
 		ID:         "ablation-5level",
 		Title:      "4-level vs 5-level page tables",
 		PaperClaim: "5-level paging lengthens walks, strengthening CSALT's motivation (1)",
+		Jobs:       jobsAblation5Level,
 		Run:        runAblation5Level,
 	})
 	register(Experiment{
 		ID:         "ablation-sharedtlb",
 		Title:      "Private vs shared L2 TLB",
 		PaperClaim: "shared last-level TLBs are orthogonal related work (6); CSALT layers on either",
+		Jobs:       jobsAblationSharedTLB,
 		Run:        runAblationSharedTLB,
 	})
 	register(Experiment{
 		ID:         "ablation-hugepages",
 		Title:      "Native 4 KB vs 2 MB (THP) backing",
 		PaperClaim: "huge pages enlarge TLB reach; orthogonal to CSALT (6)",
+		Jobs:       jobsAblationHugePages,
 		Run:        runAblationHugePages,
+	})
+}
+
+// staticFracs are the fixed data-fraction splits the static ablation sweeps.
+var staticFracs = []float64{0.25, 0.5, 0.75}
+
+func ablationStaticCase(s Scale, mix workload.Mix, frac float64) sim.Config {
+	cfg := s.BaseConfig()
+	cfg.Mix = mix
+	cfg.Org = sim.OrgPOM
+	cfg.Scheme = core.Static
+	cfg.StaticDataFrac = frac
+	return cfg
+}
+
+func jobsAblationStatic(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		base := s.BaseConfig()
+		base.Mix = mix
+		out := []sim.Config{pomTLB(base)}
+		for _, frac := range staticFracs {
+			out = append(out, ablationStaticCase(s, mix, frac))
+		}
+		return append(out, csaltD(base))
 	})
 }
 
@@ -74,12 +105,8 @@ func runAblationStatic(r *Runner) (*stats.Table, error) {
 		norm := func(res *sim.Results) float64 { return res.IPCGeomean / pomRes.IPCGeomean }
 		var vals []interface{}
 		vals = append(vals, mix.ID)
-		for _, frac := range []float64{0.25, 0.5, 0.75} {
-			cfg := base
-			cfg.Org = sim.OrgPOM
-			cfg.Scheme = core.Static
-			cfg.StaticDataFrac = frac
-			res, err := r.Run(cfg)
+		for _, frac := range staticFracs {
+			res, err := r.Run(ablationStaticCase(r.Scale, mix, frac))
 			if err != nil {
 				return nil, err
 			}
@@ -95,27 +122,41 @@ func runAblationStatic(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablationPolicyCases builds the reference LRU+ATD run and the two inline
+// estimated-profiler alternatives.
+func ablationPolicyCases(s Scale, mix workload.Mix) (ref, nru, bt sim.Config) {
+	ref = csaltCD(s.BaseConfig())
+	ref.Mix = mix
+	nru = ref
+	nru.Policy = cache.PolicyNRU
+	nru.InlineProfiler = true
+	bt = ref
+	bt.Policy = cache.PolicyBTPLRU
+	bt.InlineProfiler = true
+	return ref, nru, bt
+}
+
+func jobsAblationPolicy(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		ref, nru, bt := ablationPolicyCases(s, mix)
+		return []sim.Config{ref, nru, bt}
+	})
+}
+
 func runAblationPolicy(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: CSALT-CD under replacement policies (normalized to LRU+ATD)",
 		"mix", "lru+atd", "nru inline", "bt-plru inline")
 	for _, mix := range ablationMixes {
-		base := csaltCD(r.Scale.BaseConfig())
-		base.Mix = mix
-		ref, err := r.Run(base)
+		refCfg, nruCfg, btCfg := ablationPolicyCases(r.Scale, mix)
+		ref, err := r.Run(refCfg)
 		if err != nil {
 			return nil, err
 		}
-		nru := base
-		nru.Policy = cache.PolicyNRU
-		nru.InlineProfiler = true
-		nruRes, err := r.Run(nru)
+		nruRes, err := r.Run(nruCfg)
 		if err != nil {
 			return nil, err
 		}
-		bt := base
-		bt.Policy = cache.PolicyBTPLRU
-		bt.InlineProfiler = true
-		btRes, err := r.Run(bt)
+		btRes, err := r.Run(btCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -124,19 +165,32 @@ func runAblationPolicy(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablationPSCCases builds the PSC-on/PSC-off pair for one benchmark.
+func ablationPSCCases(s Scale, mix workload.Mix) (on, off sim.Config) {
+	on = conventional(s.BaseConfig())
+	on.Mix = mix
+	on.ContextsPerCore = 1
+	off = on
+	off.DisablePSC = true
+	return on, off
+}
+
+func jobsAblationPSC(s Scale) []sim.Config {
+	return forMixes(workload.Singles(), func(mix workload.Mix) []sim.Config {
+		on, off := ablationPSCCases(s, mix)
+		return []sim.Config{on, off}
+	})
+}
+
 func runAblationPSC(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: walk cycles per L2 TLB miss, PSC on vs off (virtualized, conventional)",
 		"benchmark", "psc on", "psc off", "inflation")
 	for _, mix := range workload.Singles() {
-		on := conventional(r.Scale.BaseConfig())
-		on.Mix = mix
-		on.ContextsPerCore = 1
+		on, off := ablationPSCCases(r.Scale, mix)
 		onRes, err := r.Run(on)
 		if err != nil {
 			return nil, err
 		}
-		off := on
-		off.DisablePSC = true
 		offRes, err := r.Run(off)
 		if err != nil {
 			return nil, err
@@ -150,18 +204,31 @@ func runAblationPSC(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablationPOMPlacementCases builds the die-stacked/off-chip pair.
+func ablationPOMPlacementCases(s Scale, mix workload.Mix) (stacked, offChip sim.Config) {
+	stacked = csaltCD(s.BaseConfig())
+	stacked.Mix = mix
+	offChip = stacked
+	offChip.POMOffChip = true
+	return stacked, offChip
+}
+
+func jobsAblationPOMPlacement(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		ds, oc := ablationPOMPlacementCases(s, mix)
+		return []sim.Config{ds, oc}
+	})
+}
+
 func runAblationPOMPlacement(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: POM-TLB placement (CSALT-CD IPC, off-chip normalized to die-stacked)",
 		"mix", "die-stacked", "off-chip DDR4")
 	for _, mix := range ablationMixes {
-		ds := csaltCD(r.Scale.BaseConfig())
-		ds.Mix = mix
+		ds, oc := ablationPOMPlacementCases(r.Scale, mix)
 		dsRes, err := r.Run(ds)
 		if err != nil {
 			return nil, err
 		}
-		oc := ds
-		oc.POMOffChip = true
 		ocRes, err := r.Run(oc)
 		if err != nil {
 			return nil, err
@@ -171,18 +238,31 @@ func runAblationPOMPlacement(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablation5LevelCases builds the 4-level/5-level pair.
+func ablation5LevelCases(s Scale, mix workload.Mix) (l4, l5 sim.Config) {
+	l4 = conventional(s.BaseConfig())
+	l4.Mix = mix
+	l5 = l4
+	l5.PageTableLevels = 5
+	return l4, l5
+}
+
+func jobsAblation5Level(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		l4, l5 := ablation5LevelCases(s, mix)
+		return []sim.Config{l4, l5}
+	})
+}
+
 func runAblation5Level(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: page-table depth (virtualized walk cycles per L2 TLB miss)",
 		"mix", "4-level", "5-level", "inflation")
 	for _, mix := range ablationMixes {
-		l4 := conventional(r.Scale.BaseConfig())
-		l4.Mix = mix
+		l4, l5 := ablation5LevelCases(r.Scale, mix)
 		l4Res, err := r.Run(l4)
 		if err != nil {
 			return nil, err
 		}
-		l5 := l4
-		l5.PageTableLevels = 5
 		l5Res, err := r.Run(l5)
 		if err != nil {
 			return nil, err
@@ -196,18 +276,31 @@ func runAblation5Level(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablationSharedTLBCases builds the private/shared L2 TLB pair.
+func ablationSharedTLBCases(s Scale, mix workload.Mix) (private, shared sim.Config) {
+	private = csaltCD(s.BaseConfig())
+	private.Mix = mix
+	shared = private
+	shared.SharedL2TLB = true
+	return private, shared
+}
+
+func jobsAblationSharedTLB(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		priv, shared := ablationSharedTLBCases(s, mix)
+		return []sim.Config{priv, shared}
+	})
+}
+
 func runAblationSharedTLB(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: shared L2 TLB (CSALT-CD IPC, normalized to private L2 TLBs)",
 		"mix", "private", "shared", "shared L2 TLB MPKI")
 	for _, mix := range ablationMixes {
-		priv := csaltCD(r.Scale.BaseConfig())
-		priv.Mix = mix
+		priv, shared := ablationSharedTLBCases(r.Scale, mix)
 		pRes, err := r.Run(priv)
 		if err != nil {
 			return nil, err
 		}
-		shared := priv
-		shared.SharedL2TLB = true
 		sRes, err := r.Run(shared)
 		if err != nil {
 			return nil, err
@@ -217,19 +310,32 @@ func runAblationSharedTLB(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// ablationHugePagesCases builds the native 4 KB/2 MB pair.
+func ablationHugePagesCases(s Scale, mix workload.Mix) (small, huge sim.Config) {
+	small = conventional(s.BaseConfig())
+	small.Mix = mix
+	small.Virtualized = false
+	huge = small
+	huge.HugePages = true
+	return small, huge
+}
+
+func jobsAblationHugePages(s Scale) []sim.Config {
+	return forMixes(ablationMixes, func(mix workload.Mix) []sim.Config {
+		small, huge := ablationHugePagesCases(s, mix)
+		return []sim.Config{small, huge}
+	})
+}
+
 func runAblationHugePages(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Ablation: native 4 KB vs 2 MB pages (L2 TLB MPKI)",
 		"mix", "4K MPKI", "2M MPKI", "reduction")
 	for _, mix := range ablationMixes {
-		small := conventional(r.Scale.BaseConfig())
-		small.Mix = mix
-		small.Virtualized = false
+		small, huge := ablationHugePagesCases(r.Scale, mix)
 		sRes, err := r.Run(small)
 		if err != nil {
 			return nil, err
 		}
-		huge := small
-		huge.HugePages = true
 		hRes, err := r.Run(huge)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Job is one independent simulation unit: a single configuration plus the
+// experiments that requested it. Jobs carry no shared state — each one
+// builds and runs its own system — so a pool of workers may execute them
+// in any order and any interleaving.
+type Job struct {
+	Config sim.Config
+	// Experiments lists the IDs that need this configuration, in request
+	// order; shared baselines (e.g. the POM-TLB runs of Figures 7, 8, 10
+	// and 11) are deduplicated into one job with several owners.
+	Experiments []string
+}
+
+// Label renders a short human-readable description for progress lines.
+func (j Job) Label() string {
+	owner := "?"
+	if len(j.Experiments) > 0 {
+		owner = j.Experiments[0]
+		if n := len(j.Experiments); n > 1 {
+			owner = fmt.Sprintf("%s(+%d)", owner, n-1)
+		}
+	}
+	c := j.Config
+	return fmt.Sprintf("%s %s %s/%s", owner, c.Mix.ID, c.Org, c.Scheme)
+}
+
+// Progress describes one completed job; the Engine reports it after every
+// job finishes so callers can render counters and ETA lines.
+type Progress struct {
+	Done    int           // jobs completed so far (including this one)
+	Total   int           // jobs in this Execute call
+	Label   string        // the completed job's Label
+	Elapsed time.Duration // wall time of this job alone
+	Since   time.Duration // wall time since Execute started
+}
+
+// ETA extrapolates the remaining wall time from the average job cost seen
+// so far, scaled by the worker count currently in flight.
+func (p Progress) ETA() time.Duration {
+	if p.Done == 0 {
+		return 0
+	}
+	perJob := p.Since / time.Duration(p.Done)
+	return perJob * time.Duration(p.Total-p.Done)
+}
+
+// Engine executes experiment job lists across a bounded worker pool,
+// filling a Runner's memo cache, then renders tables sequentially from
+// that cache. Because rendering consumes results in the same deterministic
+// order as a sequential run — and each configuration's simulation is
+// itself deterministic — the output tables are byte-identical at every
+// parallelism level.
+type Engine struct {
+	Runner *Runner
+	// Workers bounds the pool; <= 0 selects runtime.GOMAXPROCS(0). The
+	// simulator is single-goroutine per system, so there is never a reason
+	// to exceed one worker per CPU.
+	Workers int
+	// Progress, when non-nil, is invoked after each job completes. Calls
+	// are serialized by the engine; the callback needs no locking.
+	Progress func(Progress)
+}
+
+// NewEngine builds an engine over a fresh runner at the given scale.
+func NewEngine(s Scale, workers int) *Engine {
+	return &Engine{Runner: NewRunner(s), Workers: workers}
+}
+
+// workers resolves the effective pool size for n jobs.
+func (e *Engine) workers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Jobs enumerates the deduplicated job list behind a set of experiments at
+// the engine's scale, in first-request order. Experiments without a job
+// enumerator contribute nothing (their Run falls back to inline, sequential
+// simulation).
+func (e *Engine) Jobs(exps ...Experiment) []Job {
+	seen := make(map[sim.Config]int)
+	var out []Job
+	for _, ex := range exps {
+		if ex.Jobs == nil {
+			continue
+		}
+		for _, cfg := range ex.Jobs(e.Runner.Scale) {
+			if i, ok := seen[cfg]; ok {
+				if owners := out[i].Experiments; len(owners) == 0 || owners[len(owners)-1] != ex.ID {
+					out[i].Experiments = append(owners, ex.ID)
+				}
+				continue
+			}
+			seen[cfg] = len(out)
+			out = append(out, Job{Config: cfg, Experiments: []string{ex.ID}})
+		}
+	}
+	return out
+}
+
+// Execute runs the jobs across the worker pool, filling the runner's memo
+// cache. The first simulation error is recorded and returned once in-flight
+// jobs drain; jobs not yet started are skipped after an error.
+func (e *Engine) Execute(jobs []Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	start := time.Now()
+	ch := make(chan Job)
+	for w := e.workers(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					continue
+				}
+				t0 := time.Now()
+				_, err := e.Runner.Run(j.Config)
+				mu.Lock()
+				done++
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s: %w", j.Label(), err)
+					}
+				} else if e.Progress != nil {
+					e.Progress(Progress{
+						Done: done, Total: len(jobs), Label: j.Label(),
+						Elapsed: time.Since(t0), Since: time.Since(start),
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// Run executes one experiment end to end: fan its jobs out across the
+// pool, then render its table sequentially from the memo cache.
+func (e *Engine) Run(exp Experiment) (*stats.Table, error) {
+	if err := e.Execute(e.Jobs(exp)); err != nil {
+		return nil, err
+	}
+	return exp.Run(e.Runner)
+}
+
+// RunAll executes several experiments as one shared job pool (so baselines
+// common to multiple figures are simulated once), then renders every table
+// in order. Tables are returned parallel to exps.
+func (e *Engine) RunAll(exps []Experiment) ([]*stats.Table, error) {
+	if err := e.Execute(e.Jobs(exps...)); err != nil {
+		return nil, err
+	}
+	tables := make([]*stats.Table, len(exps))
+	for i, ex := range exps {
+		t, err := ex.Run(e.Runner)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ex.ID, err)
+		}
+		tables[i] = t
+	}
+	return tables, nil
+}

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// TestParallelDeterminism is the refactor's load-bearing guarantee: the
+// rendered table of a figure must be byte-identical whether its
+// simulations ran sequentially or across eight workers. Any hidden shared
+// state between concurrent simulations (a package-level RNG, a shared
+// memo, an aliased table) shows up here as a diff.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig7 at tiny scale")
+	}
+	exp, ok := ByID("fig7")
+	if !ok {
+		t.Fatal("fig7 missing")
+	}
+	render := func(workers int) string {
+		eng := NewEngine(Tiny, workers)
+		table, err := eng.Run(exp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return table.String()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Errorf("fig7 tables differ between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestRaceSmoke runs a small experiment pair under concurrency; it is the
+// short-mode target of `go test -race` (see Makefile), so it must not be
+// skipped. Figures 10 and 11 request identical configurations, which also
+// exercises job deduplication across experiments.
+func TestRaceSmoke(t *testing.T) {
+	e10, _ := ByID("fig10")
+	e11, _ := ByID("fig11")
+	eng := NewEngine(microScale, 4)
+	jobs := eng.Jobs(e10, e11)
+	for _, j := range jobs {
+		if len(j.Experiments) != 2 {
+			t.Fatalf("fig10/fig11 job not shared: %+v owns %v", j.Label(), j.Experiments)
+		}
+	}
+	if err := eng.Execute(jobs); err != nil {
+		t.Fatal(err)
+	}
+	t10, err := e10.Run(eng.Runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t11, err := e11.Run(eng.Runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t10.NumRows() == 0 || t11.NumRows() == 0 {
+		t.Error("empty tables from concurrent run")
+	}
+}
+
+// TestRunnerSingleflight hammers one configuration from many goroutines
+// and checks that exactly one simulation happens and all callers see the
+// same result.
+func TestRunnerSingleflight(t *testing.T) {
+	r := NewRunner(microScale)
+	cfg := microScale.BaseConfig()
+	cfg.Mix = workload.Mix{ID: "t", VM1: workload.StreamCluster, VM2: workload.StreamCluster}
+	var wg sync.WaitGroup
+	results := make([]*sim.Results, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if n := r.NumRuns(); n != 1 {
+		t.Errorf("%d simulations for one config under contention", n)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Errorf("caller %d got a different result pointer", i)
+		}
+	}
+}
+
+// TestJobsCoverRenders checks, for every experiment, that the job
+// enumerator lists exactly the configurations the renderer requests: after
+// executing the jobs, rendering must be served entirely from the memo
+// cache (no new simulations), and every job must have been needed (the
+// enumerator lists no dead configurations).
+func TestJobsCoverRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-scale coverage sweep")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			eng := NewEngine(microScale, 3)
+			jobs := eng.Jobs(e)
+			if err := eng.Execute(jobs); err != nil {
+				t.Fatal(err)
+			}
+			executed := eng.Runner.NumRuns()
+			if executed != len(jobs) {
+				t.Errorf("job list has duplicates: %d jobs, %d unique simulations", len(jobs), executed)
+			}
+			if _, err := e.Run(eng.Runner); err != nil {
+				t.Fatal(err)
+			}
+			if after := eng.Runner.NumRuns(); after != executed {
+				t.Errorf("render simulated %d configurations the job list missed", after-executed)
+			}
+		})
+	}
+}
+
+// TestEngineErrorPropagates verifies that a failing configuration aborts
+// Execute with a descriptive error instead of deadlocking the pool.
+func TestEngineErrorPropagates(t *testing.T) {
+	eng := NewEngine(microScale, 4)
+	bad := microScale.BaseConfig()
+	bad.Mix = workload.Mix{ID: "bad", VM1: "no-such-benchmark", VM2: "no-such-benchmark"}
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		cfg := bad
+		cfg.Seed = uint64(i + 1)
+		jobs = append(jobs, Job{Config: cfg, Experiments: []string{fmt.Sprintf("bad%d", i)}})
+	}
+	if err := eng.Execute(jobs); err == nil {
+		t.Fatal("Execute accepted an invalid configuration")
+	}
+}
+
+// TestProgressReporting checks the progress callback sees every job once
+// with sane counters.
+func TestProgressReporting(t *testing.T) {
+	e3, _ := ByID("fig3")
+	eng := NewEngine(microScale, 2)
+	var events []Progress
+	eng.Progress = func(p Progress) { events = append(events, p) }
+	jobs := eng.Jobs(e3)
+	if err := eng.Execute(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events for %d jobs", len(events), len(jobs))
+	}
+	seen := make(map[int]bool)
+	for _, p := range events {
+		if p.Total != len(jobs) || p.Done < 1 || p.Done > p.Total {
+			t.Errorf("bad progress counters: %+v", p)
+		}
+		if seen[p.Done] {
+			t.Errorf("done=%d reported twice", p.Done)
+		}
+		seen[p.Done] = true
+		if p.Label == "" {
+			t.Error("empty progress label")
+		}
+	}
+}

@@ -15,6 +15,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/csalt-sim/csalt/internal/sim"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -88,41 +89,95 @@ func (s Scale) BaseConfig() sim.Config {
 // figures share identical baseline runs (e.g. the POM-TLB runs of Figures
 // 7, 8, 10 and 11), and the cache makes a full sweep pay for each
 // configuration once.
+//
+// Runner is safe for concurrent use. Concurrent calls with the same
+// configuration are coalesced into a single simulation (singleflight):
+// the first caller simulates, the rest block until its result lands in
+// the cache. Each simulation owns its whole world (system, VMs, workload
+// generators), so distinct configurations run fully independently.
 type Runner struct {
 	Scale Scale
-	cache map[sim.Config]*sim.Results
-	// Runs counts actual (non-memoised) simulations, for reporting.
-	Runs int
+
+	mu    sync.Mutex
+	cache map[sim.Config]*runEntry
+	runs  int
+}
+
+// runEntry is one memo slot; done is closed once res/err are final.
+type runEntry struct {
+	done chan struct{}
+	res  *sim.Results
+	err  error
 }
 
 // NewRunner builds a Runner at the given scale.
 func NewRunner(s Scale) *Runner {
-	return &Runner{Scale: s, cache: make(map[sim.Config]*sim.Results)}
+	return &Runner{Scale: s, cache: make(map[sim.Config]*runEntry)}
 }
 
 // Run executes (or recalls) one configuration.
 func (r *Runner) Run(cfg sim.Config) (*sim.Results, error) {
-	if res, ok := r.cache[cfg]; ok {
-		return res, nil
+	r.mu.Lock()
+	if e, ok := r.cache[cfg]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
 	}
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[cfg] = e
+	r.runs++
+	r.mu.Unlock()
+
+	e.res, e.err = simulate(cfg)
+	close(e.done)
+	return e.res, e.err
+}
+
+// simulate builds and runs one fresh system.
+func simulate(cfg sim.Config) (*sim.Results, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sys.Run()
-	if err != nil {
-		return nil, err
-	}
-	r.cache[cfg] = res
-	r.Runs++
-	return res, nil
+	return sys.Run()
 }
 
-// Experiment is one paper artifact reproduction.
+// NumRuns reports how many actual (non-memoised) simulations have been
+// started, for reporting.
+func (r *Runner) NumRuns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs
+}
+
+// Cached reports whether cfg already has a completed result.
+func (r *Runner) Cached(cfg sim.Config) bool {
+	r.mu.Lock()
+	e, ok := r.cache[cfg]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Experiment is one paper artifact reproduction. Each experiment is split
+// into two halves: Jobs enumerates every simulator configuration the
+// artifact needs (the independent units a worker pool can execute in any
+// order), and Run assembles the table, pulling each configuration from the
+// runner — from its memo cache when an Engine pre-executed the jobs, or
+// inline when called directly. Run therefore produces byte-identical
+// output whether the jobs ran sequentially, in parallel, or not at all.
 type Experiment struct {
 	ID         string // "fig7", "tab1", "ablation-static", ...
 	Title      string
 	PaperClaim string // the headline shape the paper reports
+	Jobs       func(s Scale) []sim.Config
 	Run        func(r *Runner) (*stats.Table, error)
 }
 

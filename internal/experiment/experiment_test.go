@@ -52,6 +52,11 @@ func TestRegistryComplete(t *testing.T) {
 		if e.Title == "" || e.PaperClaim == "" || e.Run == nil {
 			t.Errorf("experiment %q incomplete: %+v", id, e)
 		}
+		if e.Jobs == nil {
+			t.Errorf("experiment %q has no job enumerator (cannot parallelise)", id)
+		} else if len(e.Jobs(Tiny)) == 0 {
+			t.Errorf("experiment %q enumerates no jobs", id)
+		}
 	}
 	if len(All()) != len(want) {
 		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
@@ -92,43 +97,51 @@ func TestRunnerMemoises(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Runs != 1 {
-		t.Fatalf("Runs = %d after first run", r.Runs)
+	if n := r.NumRuns(); n != 1 {
+		t.Fatalf("NumRuns = %d after first run", n)
+	}
+	if !r.Cached(cfg) {
+		t.Error("completed config not reported as cached")
 	}
 	b, err := r.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Runs != 1 {
-		t.Errorf("identical config re-simulated (Runs = %d)", r.Runs)
+	if n := r.NumRuns(); n != 1 {
+		t.Errorf("identical config re-simulated (NumRuns = %d)", n)
 	}
 	if a != b {
 		t.Error("memoised result differs")
 	}
 	cfg.Seed++
+	if r.Cached(cfg) {
+		t.Error("unseen config reported as cached")
+	}
 	if _, err := r.Run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if r.Runs != 2 {
-		t.Errorf("changed config not re-simulated (Runs = %d)", r.Runs)
+	if n := r.NumRuns(); n != 2 {
+		t.Errorf("changed config not re-simulated (NumRuns = %d)", n)
 	}
+}
+
+// microScale is a sub-tiny scale: just enough to exercise every
+// experiment's plumbing. Shared with the engine tests.
+var microScale = Scale{
+	Name: "micro", Cores: 1, WorkloadScale: 0.05,
+	MaxRefs: 6_000, Warmup: 1_000,
+	SwitchCycles: 20_000, EpochLen: 1_500, OccEvery: 2_000,
 }
 
 func TestExperimentsRunAtMicroScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("micro-scale experiment sweep")
 	}
-	// A sub-tiny scale: just enough to exercise every experiment's plumbing.
-	micro := Scale{
-		Name: "micro", Cores: 1, WorkloadScale: 0.05,
-		MaxRefs: 6_000, Warmup: 1_000,
-		SwitchCycles: 20_000, EpochLen: 1_500, OccEvery: 2_000,
-	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			r := NewRunner(micro)
-			table, err := e.Run(r)
+			eng := NewEngine(microScale, 2)
+			table, err := eng.Run(e)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}

@@ -10,6 +10,17 @@ import (
 )
 
 // Configuration builders shared by the figures.
+//
+// Every figure is written in two halves that share these builders: a
+// jobs<Fig> enumerator that lists the simulator configurations the figure
+// needs (the Engine's parallel work units) and a run<Fig> renderer that
+// assembles the table by requesting the exact same configurations from
+// the Runner. Sharing the case builders is what keeps the two halves in
+// lockstep: a renderer can only ask for configurations its enumerator
+// already listed, so the render pass is served entirely from the memo
+// cache. (If they ever diverge, the renderer still works — the runner
+// simulates the missing configuration inline — it just loses parallelism;
+// TestJobsCoverRenders enforces the stronger property.)
 
 func conventional(cfg sim.Config) sim.Config {
 	cfg.Org = sim.OrgConventional
@@ -35,84 +46,131 @@ func csaltCD(cfg sim.Config) sim.Config {
 	return cfg
 }
 
+// forMixes concatenates per-mix case lists into one job list.
+func forMixes(mixes []workload.Mix, cases func(workload.Mix) []sim.Config) []sim.Config {
+	var out []sim.Config
+	for _, m := range mixes {
+		out = append(out, cases(m)...)
+	}
+	return out
+}
+
 func init() {
 	register(Experiment{
 		ID:         "fig1",
 		Title:      "Increase in L2 TLB MPKI due to context switches",
 		PaperClaim: "adding a second VM context raises L2 TLB MPKI by >6x geomean",
+		Jobs:       jobsFig1,
 		Run:        runFig1,
 	})
 	register(Experiment{
 		ID:         "tab1",
 		Title:      "Average page-walk cycles per L2 TLB miss, native vs virtualized",
 		PaperClaim: "virtualization inflates walk cost; connectedcomponent worst (44→1158), streamcluster flat (74→76)",
+		Jobs:       jobsTab1,
 		Run:        runTab1,
 	})
 	register(Experiment{
 		ID:         "fig3",
 		Title:      "Fraction of data-cache capacity occupied by TLB entries",
 		PaperClaim: "~60% average occupancy; connectedcomponent up to 80%",
+		Jobs:       jobsFig3,
 		Run:        runFig3,
 	})
 	register(Experiment{
 		ID:         "fig7",
 		Title:      "Performance normalized to POM-TLB",
 		PaperClaim: "CSALT-D +11%, CSALT-CD +25% over POM-TLB; CSALT-CD +85% over conventional; ccomp up to 2.2x",
+		Jobs:       jobsFig7,
 		Run:        runFig7,
 	})
 	register(Experiment{
 		ID:         "fig8",
 		Title:      "POM-TLB: fraction of page walks eliminated",
 		PaperClaim: "~97% of walks eliminated on average",
+		Jobs:       jobsFig8,
 		Run:        runFig8,
 	})
 	register(Experiment{
 		ID:         "fig9",
 		Title:      "TLB way-share over time in L2/L3 data caches (connectedcomponent)",
 		PaperClaim: "allocation tracks phases; when L2 TLB share rises, L3 TLB share falls",
+		Jobs:       func(s Scale) []sim.Config { return []sim.Config{fig9Case(s)} },
 		Run:        runFig9,
 	})
 	register(Experiment{
 		ID:         "fig10",
 		Title:      "Relative L2 data-cache MPKI vs POM-TLB",
 		PaperClaim: "CSALT reduces L2 MPKI, up to 30% on connectedcomponent",
+		Jobs:       jobsRelMPKI,
 		Run:        func(r *Runner) (*stats.Table, error) { return runRelMPKI(r, 2) },
 	})
 	register(Experiment{
 		ID:         "fig11",
 		Title:      "Relative L3 data-cache MPKI vs POM-TLB",
 		PaperClaim: "CSALT-CD reduces L3 MPKI, ~26% on connectedcomponent",
+		Jobs:       jobsRelMPKI,
 		Run:        func(r *Runner) (*stats.Table, error) { return runRelMPKI(r, 3) },
 	})
 	register(Experiment{
 		ID:         "fig12",
 		Title:      "CSALT-CD on native (non-virtualized) context-switched workloads",
 		PaperClaim: "+5% geomean, up to +30% on connectedcomponent",
+		Jobs:       jobsFig12,
 		Run:        runFig12,
 	})
 	register(Experiment{
 		ID:         "fig13",
 		Title:      "Comparison with TSB and DIP",
 		PaperClaim: "TSB < DIP ~= POM-TLB < CSALT-CD (~+30% over DIP)",
+		Jobs:       jobsFig13,
 		Run:        runFig13,
 	})
 	register(Experiment{
 		ID:         "fig14",
 		Title:      "Sensitivity to number of contexts",
 		PaperClaim: "CSALT's gain over POM-TLB grows with context count (1 < 2 < 4)",
+		Jobs:       jobsFig14,
 		Run:        runFig14,
 	})
 	register(Experiment{
 		ID:         "fig15",
 		Title:      "Sensitivity to epoch length",
 		PaperClaim: "the default epoch is best for most workloads; ccomp/streamcluster prefer other lengths",
+		Jobs:       jobsFig15,
 		Run:        runFig15,
 	})
 	register(Experiment{
 		ID:         "fig16",
 		Title:      "Sensitivity to context-switch interval",
 		PaperClaim: "steady gains at 5/10/30 ms; slightly lower at 30 ms",
+		Jobs:       jobsFig16,
 		Run:        runFig16,
+	})
+}
+
+// fig1Solo is the no-context-switch baseline: one benchmark running alone.
+func fig1Solo(s Scale, b workload.Name) sim.Config {
+	cfg := conventional(s.BaseConfig())
+	cfg.Mix = workload.Mix{ID: string(b), VM1: b, VM2: b}
+	cfg.ContextsPerCore = 1
+	return cfg
+}
+
+// fig1Switched is the two-context run of one mix.
+func fig1Switched(s Scale, mix workload.Mix) sim.Config {
+	cfg := conventional(s.BaseConfig())
+	cfg.Mix = mix
+	return cfg
+}
+
+func jobsFig1(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		out := []sim.Config{fig1Solo(s, mix.VM1)}
+		if mix.VM2 != mix.VM1 {
+			out = append(out, fig1Solo(s, mix.VM2))
+		}
+		return append(out, fig1Switched(s, mix))
 	})
 }
 
@@ -123,21 +181,15 @@ func runFig1(r *Runner) (*stats.Table, error) {
 	// alone; for heterogeneous mixes the two baselines are combined
 	// weighted by their IPC, matching the instruction composition that
 	// time-multiplexing produces in the switched run.
-	soloRun := func(b workload.Name) (*sim.Results, error) {
-		cfg := conventional(r.Scale.BaseConfig())
-		cfg.Mix = workload.Mix{ID: string(b), VM1: b, VM2: b}
-		cfg.ContextsPerCore = 1
-		return r.Run(cfg)
-	}
 	var ratios []float64
 	for _, mix := range workload.Mixes() {
-		solo1, err := soloRun(mix.VM1)
+		solo1, err := r.Run(fig1Solo(r.Scale, mix.VM1))
 		if err != nil {
 			return nil, err
 		}
 		baseMPKI := solo1.L2TLBMPKI
 		if mix.VM2 != mix.VM1 {
-			solo2, err := soloRun(mix.VM2)
+			solo2, err := r.Run(fig1Solo(r.Scale, mix.VM2))
 			if err != nil {
 				return nil, err
 			}
@@ -146,9 +198,7 @@ func runFig1(r *Runner) (*stats.Table, error) {
 				baseMPKI = (solo1.L2TLBMPKI*w1 + solo2.L2TLBMPKI*w2) / (w1 + w2)
 			}
 		}
-		cfg2 := conventional(r.Scale.BaseConfig())
-		cfg2.Mix = mix
-		two, err := r.Run(cfg2)
+		two, err := r.Run(fig1Switched(r.Scale, mix))
 		if err != nil {
 			return nil, err
 		}
@@ -163,6 +213,27 @@ func runFig1(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// tab1Cases builds the native / 2M-EPT / 4K-EPT trio for one benchmark.
+func tab1Cases(s Scale, mix workload.Mix) (native, virt2M, virt4K sim.Config) {
+	homog := workload.Mix{ID: mix.ID, VM1: mix.VM1, VM2: mix.VM1}
+	native = conventional(s.BaseConfig())
+	native.Mix = homog
+	native.Virtualized = false
+	virt2M = conventional(s.BaseConfig())
+	virt2M.Mix = homog
+	virt2M.EPT4K = false
+	virt4K = virt2M
+	virt4K.EPT4K = true
+	return native, virt2M, virt4K
+}
+
+func jobsTab1(s Scale) []sim.Config {
+	return forMixes(workload.Singles(), func(mix workload.Mix) []sim.Config {
+		nat, v2, v4 := tab1Cases(s, mix)
+		return []sim.Config{nat, v2, v4}
+	})
+}
+
 func runTab1(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Table 1: page-walk cycles per L2 TLB miss",
 		"benchmark", "native", "virt (2M EPT)", "virt (4K EPT)", "ratio 4K")
@@ -173,23 +244,15 @@ func runTab1(r *Runner) (*stats.Table, error) {
 	// fragmented-host regime responsible for the paper's extreme
 	// connectedcomponent outlier (44 → 1158 cycles).
 	for _, mix := range workload.Singles() {
-		homog := workload.Mix{ID: mix.ID, VM1: mix.VM1, VM2: mix.VM1}
-		nat := conventional(r.Scale.BaseConfig())
-		nat.Mix = homog
-		nat.Virtualized = false
+		nat, virt, v4 := tab1Cases(r.Scale, mix)
 		nRes, err := r.Run(nat)
 		if err != nil {
 			return nil, err
 		}
-		virt := conventional(r.Scale.BaseConfig())
-		virt.Mix = homog
-		virt.EPT4K = false
 		vRes, err := r.Run(virt)
 		if err != nil {
 			return nil, err
 		}
-		v4 := virt
-		v4.EPT4K = true
 		v4Res, err := r.Run(v4)
 		if err != nil {
 			return nil, err
@@ -208,14 +271,26 @@ var fig3Workloads = []workload.Name{
 	workload.Canneal, workload.CComp, workload.Graph500, workload.GUPS, workload.PageRank,
 }
 
+func fig3Case(s Scale, w workload.Name) sim.Config {
+	cfg := pomTLB(s.BaseConfig())
+	cfg.Mix = workload.Mix{ID: string(w), VM1: w, VM2: w}
+	return cfg
+}
+
+func jobsFig3(s Scale) []sim.Config {
+	var out []sim.Config
+	for _, w := range fig3Workloads {
+		out = append(out, fig3Case(s, w))
+	}
+	return out
+}
+
 func runFig3(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 3: fraction of cache capacity holding TLB entries (POM-TLB, unpartitioned)",
 		"workload", "L2 D$", "L3 D$")
 	var l2s, l3s []float64
 	for _, w := range fig3Workloads {
-		cfg := pomTLB(r.Scale.BaseConfig())
-		cfg.Mix = workload.Mix{ID: string(w), VM1: w, VM2: w}
-		res, err := r.Run(cfg)
+		res, err := r.Run(fig3Case(r.Scale, w))
 		if err != nil {
 			return nil, err
 		}
@@ -227,26 +302,39 @@ func runFig3(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig7Cases builds the four organisations Fig. 7 compares for one mix.
+func fig7Cases(s Scale, mix workload.Mix) (pom, conv, d, cd sim.Config) {
+	base := s.BaseConfig()
+	base.Mix = mix
+	return pomTLB(base), conventional(base), csaltD(base), csaltCD(base)
+}
+
+func jobsFig7(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		pom, conv, d, cd := fig7Cases(s, mix)
+		return []sim.Config{pom, conv, d, cd}
+	})
+}
+
 func runFig7(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 7: performance normalized to POM-TLB",
 		"mix", "conventional", "pom-tlb", "csalt-d", "csalt-cd")
 	var conv, d, cd []float64
 	for _, mix := range workload.Mixes() {
-		base := r.Scale.BaseConfig()
-		base.Mix = mix
-		pomRes, err := r.Run(pomTLB(base))
+		pomCfg, convCfg, dCfg, cdCfg := fig7Cases(r.Scale, mix)
+		pomRes, err := r.Run(pomCfg)
 		if err != nil {
 			return nil, err
 		}
-		convRes, err := r.Run(conventional(base))
+		convRes, err := r.Run(convCfg)
 		if err != nil {
 			return nil, err
 		}
-		dRes, err := r.Run(csaltD(base))
+		dRes, err := r.Run(dCfg)
 		if err != nil {
 			return nil, err
 		}
-		cdRes, err := r.Run(csaltCD(base))
+		cdRes, err := r.Run(cdCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -260,14 +348,24 @@ func runFig7(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+func fig8Case(s Scale, mix workload.Mix) sim.Config {
+	cfg := pomTLB(s.BaseConfig())
+	cfg.Mix = mix
+	return cfg
+}
+
+func jobsFig8(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		return []sim.Config{fig8Case(s, mix)}
+	})
+}
+
 func runFig8(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 8: POM-TLB fraction of page walks eliminated",
 		"mix", "eliminated", "pom hit rate")
 	var fr []float64
 	for _, mix := range workload.Mixes() {
-		cfg := pomTLB(r.Scale.BaseConfig())
-		cfg.Mix = mix
-		res, err := r.Run(cfg)
+		res, err := r.Run(fig8Case(r.Scale, mix))
 		if err != nil {
 			return nil, err
 		}
@@ -278,15 +376,19 @@ func runFig8(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
-func runFig9(r *Runner) (*stats.Table, error) {
-	cfg := csaltCD(r.Scale.BaseConfig())
+func fig9Case(s Scale) sim.Config {
+	cfg := csaltCD(s.BaseConfig())
 	cfg.Mix = workload.Mix{ID: "ccomp", VM1: workload.CComp, VM2: workload.CComp}
 	cfg.RecordHistory = true
 	// Trace resolution: halve the epoch and double the run so the phase
 	// structure is visible, as the paper's time axis is.
 	cfg.EpochLen /= 2
 	cfg.MaxRefsPerCore *= 2
-	res, err := r.Run(cfg)
+	return cfg
+}
+
+func runFig9(r *Runner) (*stats.Table, error) {
+	res, err := r.Run(fig9Case(r.Scale))
 	if err != nil {
 		return nil, err
 	}
@@ -311,6 +413,22 @@ func runFig9(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// relMPKICases builds the POM-TLB baseline and both CSALT schemes for one
+// mix; Figures 10 and 11 read different counters from the same trio of
+// runs, so they share one job list.
+func relMPKICases(s Scale, mix workload.Mix) (pom, d, cd sim.Config) {
+	base := s.BaseConfig()
+	base.Mix = mix
+	return pomTLB(base), csaltD(base), csaltCD(base)
+}
+
+func jobsRelMPKI(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		pom, d, cd := relMPKICases(s, mix)
+		return []sim.Config{pom, d, cd}
+	})
+}
+
 // runRelMPKI backs Figures 10 (level 2) and 11 (level 3).
 func runRelMPKI(r *Runner, level int) (*stats.Table, error) {
 	t := stats.NewTable(
@@ -324,17 +442,16 @@ func runRelMPKI(r *Runner, level int) (*stats.Table, error) {
 	}
 	var ds, cds []float64
 	for _, mix := range workload.Mixes() {
-		base := r.Scale.BaseConfig()
-		base.Mix = mix
-		pomRes, err := r.Run(pomTLB(base))
+		pomCfg, dCfg, cdCfg := relMPKICases(r.Scale, mix)
+		pomRes, err := r.Run(pomCfg)
 		if err != nil {
 			return nil, err
 		}
-		dRes, err := r.Run(csaltD(base))
+		dRes, err := r.Run(dCfg)
 		if err != nil {
 			return nil, err
 		}
-		cdRes, err := r.Run(csaltCD(base))
+		cdRes, err := r.Run(cdCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -350,19 +467,32 @@ func runRelMPKI(r *Runner, level int) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig12Cases is the native (non-virtualized) POM-TLB vs CSALT-CD pair.
+func fig12Cases(s Scale, mix workload.Mix) (pom, cd sim.Config) {
+	base := s.BaseConfig()
+	base.Mix = mix
+	base.Virtualized = false
+	return pomTLB(base), csaltCD(base)
+}
+
+func jobsFig12(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		pom, cd := fig12Cases(s, mix)
+		return []sim.Config{pom, cd}
+	})
+}
+
 func runFig12(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 12: CSALT-CD on native context-switched workloads (vs native POM-TLB)",
 		"mix", "improvement")
 	var impr []float64
 	for _, mix := range workload.Mixes() {
-		base := r.Scale.BaseConfig()
-		base.Mix = mix
-		base.Virtualized = false
-		pomRes, err := r.Run(pomTLB(base))
+		pomCfg, cdCfg := fig12Cases(r.Scale, mix)
+		pomRes, err := r.Run(pomCfg)
 		if err != nil {
 			return nil, err
 		}
-		cdRes, err := r.Run(csaltCD(base))
+		cdRes, err := r.Run(cdCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -374,31 +504,44 @@ func runFig12(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig13Cases adds the TSB and DIP alternatives to the POM/CSALT-CD pair.
+func fig13Cases(s Scale, mix workload.Mix) (pom, tsb, dip, cd sim.Config) {
+	base := s.BaseConfig()
+	base.Mix = mix
+	tsb = base
+	tsb.Org = sim.OrgTSB
+	tsb.Scheme = core.None
+	dip = pomTLB(base)
+	dip.DIP = true
+	return pomTLB(base), tsb, dip, csaltCD(base)
+}
+
+func jobsFig13(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		pom, tsb, dip, cd := fig13Cases(s, mix)
+		return []sim.Config{pom, tsb, dip, cd}
+	})
+}
+
 func runFig13(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 13: TSB vs DIP vs CSALT-CD (normalized to POM-TLB)",
 		"mix", "tsb", "dip", "csalt-cd")
 	var tsbs, dips, cds []float64
 	for _, mix := range workload.Mixes() {
-		base := r.Scale.BaseConfig()
-		base.Mix = mix
-		pomRes, err := r.Run(pomTLB(base))
+		pomCfg, tsbCfg, dipCfg, cdCfg := fig13Cases(r.Scale, mix)
+		pomRes, err := r.Run(pomCfg)
 		if err != nil {
 			return nil, err
 		}
-		tsbCfg := base
-		tsbCfg.Org = sim.OrgTSB
-		tsbCfg.Scheme = core.None
 		tsbRes, err := r.Run(tsbCfg)
 		if err != nil {
 			return nil, err
 		}
-		dipCfg := pomTLB(base)
-		dipCfg.DIP = true
 		dipRes, err := r.Run(dipCfg)
 		if err != nil {
 			return nil, err
 		}
-		cdRes, err := r.Run(csaltCD(base))
+		cdRes, err := r.Run(cdCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -412,21 +555,41 @@ func runFig13(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig14Contexts are the context counts the sensitivity sweep compares.
+var fig14Contexts = []int{1, 2, 4}
+
+// fig14Cases is the POM-TLB/CSALT-CD pair at one context count.
+func fig14Cases(s Scale, mix workload.Mix, contexts int) (pom, cd sim.Config) {
+	base := s.BaseConfig()
+	base.Mix = mix
+	base.ContextsPerCore = contexts
+	return pomTLB(base), csaltCD(base)
+}
+
+func jobsFig14(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		var out []sim.Config
+		for _, ctx := range fig14Contexts {
+			pom, cd := fig14Cases(s, mix, ctx)
+			out = append(out, pom, cd)
+		}
+		return out
+	})
+}
+
 func runFig14(r *Runner) (*stats.Table, error) {
 	t := stats.NewTable("Fig 14: CSALT-CD gain over POM-TLB by context count",
 		"mix", "1 context", "2 contexts", "4 contexts")
 	gains := map[int][]float64{}
 	for _, mix := range workload.Mixes() {
 		var vals [3]float64
-		for i, ctx := range []int{1, 2, 4} {
-			base := r.Scale.BaseConfig()
-			base.Mix = mix
-			base.ContextsPerCore = ctx
-			pomRes, err := r.Run(pomTLB(base))
+		for i, ctx := range fig14Contexts {
+			pomCfg, cdCfg := fig14Cases(r.Scale, mix, ctx)
+			pomRes, err := r.Run(pomCfg)
 			if err != nil {
 				return nil, err
 			}
-			cdRes, err := r.Run(csaltCD(base))
+			cdRes, err := r.Run(cdCfg)
 			if err != nil {
 				return nil, err
 			}
@@ -440,20 +603,37 @@ func runFig14(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig15Epochs are the sweep's epoch lengths: half, default, double.
+func fig15Epochs(s Scale) []uint64 {
+	return []uint64{s.EpochLen / 2, s.EpochLen, s.EpochLen * 2}
+}
+
+func fig15Case(s Scale, mix workload.Mix, epoch uint64) sim.Config {
+	cfg := csaltCD(s.BaseConfig())
+	cfg.Mix = mix
+	cfg.EpochLen = epoch
+	return cfg
+}
+
+func jobsFig15(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		var out []sim.Config
+		for _, e := range fig15Epochs(s) {
+			out = append(out, fig15Case(s, mix, e))
+		}
+		return out
+	})
+}
+
 func runFig15(r *Runner) (*stats.Table, error) {
-	base := r.Scale.EpochLen
 	t := stats.NewTable(
-		fmt.Sprintf("Fig 15: CSALT-CD by epoch length (x = default %d accesses; normalized to default)", base),
+		fmt.Sprintf("Fig 15: CSALT-CD by epoch length (x = default %d accesses; normalized to default)", r.Scale.EpochLen),
 		"mix", "0.5x", "1x", "2x")
-	epochs := []uint64{base / 2, base, base * 2}
 	var e0, e2 []float64
 	for _, mix := range workload.Mixes() {
 		var ipc [3]float64
-		for i, e := range epochs {
-			cfg := csaltCD(r.Scale.BaseConfig())
-			cfg.Mix = mix
-			cfg.EpochLen = e
-			res, err := r.Run(cfg)
+		for i, e := range fig15Epochs(r.Scale) {
+			res, err := r.Run(fig15Case(r.Scale, mix, e))
 			if err != nil {
 				return nil, err
 			}
@@ -467,24 +647,43 @@ func runFig15(r *Runner) (*stats.Table, error) {
 	return t, nil
 }
 
+// fig16Intervals are the sweep's switch intervals (the 5/10/30 ms analogues).
+func fig16Intervals(s Scale) []uint64 {
+	return []uint64{s.SwitchCycles / 2, s.SwitchCycles, s.SwitchCycles * 3}
+}
+
+func fig16Cases(s Scale, mix workload.Mix, interval uint64) (pom, cd sim.Config) {
+	cfg := s.BaseConfig()
+	cfg.Mix = mix
+	cfg.SwitchIntervalCycles = interval
+	return pomTLB(cfg), csaltCD(cfg)
+}
+
+func jobsFig16(s Scale) []sim.Config {
+	return forMixes(workload.Mixes(), func(mix workload.Mix) []sim.Config {
+		var out []sim.Config
+		for _, iv := range fig16Intervals(s) {
+			pom, cd := fig16Cases(s, mix, iv)
+			out = append(out, pom, cd)
+		}
+		return out
+	})
+}
+
 func runFig16(r *Runner) (*stats.Table, error) {
-	base := r.Scale.SwitchCycles
 	t := stats.NewTable(
-		fmt.Sprintf("Fig 16: CSALT-CD gain over POM-TLB by switch interval (1x = %d cycles ~ the paper's 10 ms)", base),
+		fmt.Sprintf("Fig 16: CSALT-CD gain over POM-TLB by switch interval (1x = %d cycles ~ the paper's 10 ms)", r.Scale.SwitchCycles),
 		"mix", "0.5x (5ms)", "1x (10ms)", "3x (30ms)")
-	intervals := []uint64{base / 2, base, base * 3}
 	gains := [3][]float64{}
 	for _, mix := range workload.Mixes() {
 		var vals [3]float64
-		for i, iv := range intervals {
-			cfg := r.Scale.BaseConfig()
-			cfg.Mix = mix
-			cfg.SwitchIntervalCycles = iv
-			pomRes, err := r.Run(pomTLB(cfg))
+		for i, iv := range fig16Intervals(r.Scale) {
+			pomCfg, cdCfg := fig16Cases(r.Scale, mix, iv)
+			pomRes, err := r.Run(pomCfg)
 			if err != nil {
 				return nil, err
 			}
-			cdRes, err := r.Run(csaltCD(cfg))
+			cdRes, err := r.Run(cdCfg)
 			if err != nil {
 				return nil, err
 			}

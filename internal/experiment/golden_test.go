@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites the golden snapshots instead of comparing against them:
+//
+//	go test ./internal/experiment -run TestGoldenTables -update
+var update = flag.Bool("update", false, "rewrite golden experiment tables under testdata/")
+
+// goldenExperiments are the snapshot targets: one occupancy-style artifact
+// (Fig. 3) and one walk-elimination artifact (Fig. 8). Both are cheap at
+// Tiny scale and together touch the POM-TLB datapath, the occupancy
+// scanner and the table renderer, so a change that shifts any reported
+// number — intended or not — turns up as a readable diff here instead of
+// needing to be re-derived by hand.
+var goldenExperiments = []string{"fig3", "fig8"}
+
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale golden sweep")
+	}
+	for _, id := range goldenExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			eng := NewEngine(Tiny, 4)
+			table, err := eng.Run(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := table.String()
+			path := filepath.Join("testdata", id+"_tiny.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table drifted from golden snapshot (re-run with -update if intended)\n--- want ---\n%s\n--- got ---\n%s",
+					id, want, got)
+			}
+		})
+	}
+}

@@ -173,8 +173,19 @@ func (c *Config) Validate() error {
 	if c.POMSizeMB <= 0 && c.Org == OrgPOM {
 		return fmt.Errorf("sim: POM organisation needs a positive POM size")
 	}
+	if c.POMSizeMB < 0 {
+		return fmt.Errorf("sim: POM size must not be negative, got %d MB", c.POMSizeMB)
+	}
 	if (c.Scheme == core.Dynamic || c.Scheme == core.CriticalityDynamic) && c.EpochLen == 0 {
 		return fmt.Errorf("sim: dynamic schemes need a positive epoch length")
+	}
+	if c.Scheme == core.Static && (c.StaticDataFrac <= 0 || c.StaticDataFrac >= 1) {
+		// The partitioner always leaves at least one way per line type, so
+		// a fraction at or beyond the [0,1] ends cannot be honoured.
+		return fmt.Errorf("sim: static data fraction must be in (0,1), got %v", c.StaticDataFrac)
+	}
+	if c.MLPWindow < 0 {
+		return fmt.Errorf("sim: MLP window must not be negative, got %d", c.MLPWindow)
 	}
 	if c.Scheme != core.None && c.Org == OrgConventional && !c.Virtualized && c.HugePages {
 		// Partitioning over a native huge-page system has almost no TLB

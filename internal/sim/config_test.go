@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// validBase is a known-good configuration each case mutates.
+func validBase() Config {
+	cfg := DefaultConfig()
+	cfg.Mix = workload.Mix{ID: "t", VM1: workload.GUPS, VM2: workload.StreamCluster}
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring of the error; "" means the config must pass
+	}{
+		{"default is valid", func(c *Config) {}, ""},
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "cores"},
+		{"negative cores", func(c *Config) { c.Cores = -4 }, "cores"},
+		{"zero contexts", func(c *Config) { c.ContextsPerCore = 0 }, "contexts"},
+		{"missing VM1", func(c *Config) { c.Mix.VM1 = "" }, "VM1"},
+		{"two contexts need VM2", func(c *Config) { c.Mix.VM2 = "" }, "VM2"},
+		{"one context without VM2 is fine", func(c *Config) {
+			c.ContextsPerCore = 1
+			c.Mix.VM2 = ""
+		}, ""},
+		{"zero scale", func(c *Config) { c.Scale = 0 }, "scale"},
+		{"negative scale", func(c *Config) { c.Scale = -0.5 }, "scale"},
+		{"zero run length", func(c *Config) { c.MaxRefsPerCore = 0 }, "MaxRefsPerCore"},
+		{"warmup at run length", func(c *Config) { c.WarmupRefs = c.MaxRefsPerCore }, "warmup"},
+		{"warmup beyond run length", func(c *Config) { c.WarmupRefs = c.MaxRefsPerCore + 1 }, "warmup"},
+		{"three-level page table", func(c *Config) { c.PageTableLevels = 3 }, "page table levels"},
+		{"six-level page table", func(c *Config) { c.PageTableLevels = 6 }, "page table levels"},
+		{"five-level page table is fine", func(c *Config) { c.PageTableLevels = 5 }, ""},
+
+		// POM sizing edges.
+		{"POM org needs POM size", func(c *Config) {
+			c.Org = OrgPOM
+			c.POMSizeMB = 0
+		}, "POM size"},
+		{"conventional org tolerates zero POM size", func(c *Config) {
+			c.Org = OrgConventional
+			c.POMSizeMB = 0
+		}, ""},
+		{"negative POM size rejected everywhere", func(c *Config) {
+			c.Org = OrgConventional
+			c.POMSizeMB = -16
+		}, "negative"},
+		{"one-megabyte POM is fine", func(c *Config) { c.POMSizeMB = 1 }, ""},
+
+		// Scheme / partitioning edges.
+		{"dynamic scheme needs epoch", func(c *Config) {
+			c.Scheme = core.Dynamic
+			c.EpochLen = 0
+		}, "epoch"},
+		{"criticality-dynamic needs epoch", func(c *Config) {
+			c.Scheme = core.CriticalityDynamic
+			c.EpochLen = 0
+		}, "epoch"},
+		{"unmanaged scheme tolerates zero epoch", func(c *Config) {
+			c.Scheme = core.None
+			c.EpochLen = 0
+		}, ""},
+		{"static split at zero", func(c *Config) {
+			c.Scheme = core.Static
+			c.StaticDataFrac = 0
+		}, "static data fraction"},
+		{"static split at one", func(c *Config) {
+			c.Scheme = core.Static
+			c.StaticDataFrac = 1
+		}, "static data fraction"},
+		{"static split above one", func(c *Config) {
+			c.Scheme = core.Static
+			c.StaticDataFrac = 1.5
+		}, "static data fraction"},
+		{"static quarter split is fine", func(c *Config) {
+			c.Scheme = core.Static
+			c.StaticDataFrac = 0.25
+		}, ""},
+		{"fraction ignored without static scheme", func(c *Config) {
+			c.Scheme = core.None
+			c.StaticDataFrac = 7
+		}, ""},
+
+		{"negative MLP window", func(c *Config) { c.MLPWindow = -1 }, "MLP window"},
+		{"zero MLP window defaults downstream", func(c *Config) { c.MLPWindow = 0 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validBase()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted an invalid config, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestNewRejectsInvalidConfig checks that the constructor runs Validate —
+// an invalid config must never reach system assembly.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := validBase()
+	cfg.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New() accepted a zero-core config")
+	}
+	cfg = validBase()
+	cfg.Scheme = core.Static
+	cfg.StaticDataFrac = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New() accepted a degenerate static split")
+	}
+}

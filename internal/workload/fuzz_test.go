@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/trace"
+)
+
+// FuzzGenerator drives every generator invariant the simulator leans on:
+//
+//   - Footprint containment: every generated reference lands on a page the
+//     generator declared via VisitFootprint. The simulator pre-populates
+//     translations for exactly that page set, so an out-of-footprint access
+//     would fault the prewarmed page tables.
+//   - Determinism: two generators with identical parameters must replay
+//     identical streams — the property every scheme comparison (Fig. 7,
+//     13, …) and the parallel experiment engine rest on.
+//   - Stream sanity: the source never ends and always carries its ASID.
+func FuzzGenerator(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(256))
+	f.Add(uint64(42), uint8(1), uint16(1000))
+	f.Add(uint64(0), uint8(2), uint16(64))     // zero seed
+	f.Add(uint64(1<<63), uint8(3), uint16(1))  // huge seed, minimal run
+	f.Add(uint64(7), uint8(4), uint16(2048))   // pagerank, long run
+	f.Add(uint64(1234), uint8(5), uint16(512)) // streamcluster (sequential)
+	f.Fuzz(func(t *testing.T, seed uint64, kind uint8, n uint16) {
+		names := All()
+		name := names[int(kind)%len(names)]
+		p := Params{
+			ASID:  3,
+			Base:  0x10_0000_0000,
+			Seed:  seed,
+			Scale: 0.05, // keep footprint enumeration cheap under the fuzzer
+		}
+		g := MustNew(name, p)
+		twin := MustNew(name, p)
+
+		fp, ok := g.(trace.Footprinter)
+		if !ok {
+			t.Fatalf("%s generator does not declare a footprint", name)
+		}
+		pages := make(map[mem.VAddr]bool)
+		fp.VisitFootprint(func(v mem.VAddr) {
+			pages[v&^mem.VAddr(mem.PageSize4K-1)] = true
+		})
+		if len(pages) == 0 {
+			t.Fatalf("%s declares an empty footprint", name)
+		}
+
+		steps := int(n) + 1
+		for i := 0; i < steps; i++ {
+			rec, ok := g.Next()
+			rec2, ok2 := twin.Next()
+			if !ok || !ok2 {
+				t.Fatalf("%s stream ended at %d/%d", name, i, steps)
+			}
+			if rec != rec2 {
+				t.Fatalf("%s seed=%d: streams diverge at ref %d: %+v vs %+v",
+					name, seed, i, rec, rec2)
+			}
+			if rec.ASID != p.ASID {
+				t.Fatalf("%s ref %d carries ASID %d, want %d", name, i, rec.ASID, p.ASID)
+			}
+			page := rec.Addr &^ mem.VAddr(mem.PageSize4K-1)
+			if !pages[page] {
+				t.Fatalf("%s seed=%d ref %d: addr %#x (page %#x) outside the declared footprint",
+					name, seed, i, rec.Addr, page)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/trace"
@@ -121,6 +122,12 @@ type Tuning struct {
 	RandomLine bool
 }
 
+// profMu guards profiles: the parallel experiment engine constructs
+// generators from many goroutines at once, and calibration sweeps may
+// retune between runs. Generators themselves copy their Tuning at
+// construction and are single-owner thereafter.
+var profMu sync.RWMutex
+
 // profiles holds the per-benchmark calibration. Footprints are per thread;
 // with 8 threads per VM the totals land in the multi-hundred-MB range the
 // paper's "large footprint" workloads occupy, scaled to simulator run
@@ -190,7 +197,9 @@ var profiles = map[Name]Tuning{
 
 // GetTuning returns a benchmark's current generator calibration.
 func GetTuning(n Name) (Tuning, error) {
+	profMu.RLock()
 	t, ok := profiles[n]
+	profMu.RUnlock()
 	if !ok {
 		return Tuning{}, fmt.Errorf("workload: unknown benchmark %q", n)
 	}
@@ -199,8 +208,12 @@ func GetTuning(n Name) (Tuning, error) {
 
 // SetTuning replaces a benchmark's generator calibration. Generators
 // constructed afterwards use the new values; existing generators are
-// unaffected. Not safe for use concurrently with New.
+// unaffected. Safe for concurrent use, but note that retuning while a
+// parallel sweep is constructing generators makes it unpredictable which
+// runs see which calibration — retune between sweeps, not during them.
 func SetTuning(n Name, t Tuning) error {
+	profMu.Lock()
+	defer profMu.Unlock()
 	if _, ok := profiles[n]; !ok {
 		return fmt.Errorf("workload: unknown benchmark %q", n)
 	}
@@ -211,11 +224,11 @@ func SetTuning(n Name, t Tuning) error {
 // Profile reports footprint metadata for a benchmark; the simulator uses it
 // to size address spaces before building page tables.
 func Profile(n Name) (pagesTotal uint64, err error) {
-	p, ok := profiles[n]
-	if !ok {
-		return 0, fmt.Errorf("workload: unknown benchmark %q", n)
+	t, err := GetTuning(n)
+	if err != nil {
+		return 0, err
 	}
-	return p.PagesTotal, nil
+	return t.PagesTotal, nil
 }
 
 // FootprintBytes returns the per-thread footprint of benchmark n at the
@@ -230,10 +243,12 @@ func FootprintBytes(n Name, scale float64) (uint64, error) {
 }
 
 // New constructs the generator for benchmark n as an endless trace.Source.
+// The generator copies its calibration at construction and owns all of its
+// state, so distinct generators may run on distinct goroutines freely.
 func New(n Name, p Params) (trace.Source, error) {
-	prof, ok := profiles[n]
-	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", n)
+	prof, err := GetTuning(n)
+	if err != nil {
+		return nil, err
 	}
 	return newVisitGen(prof, p), nil
 }
@@ -249,10 +264,12 @@ func MustNew(n Name, p Params) trace.Source {
 
 // Names returns the sorted list of benchmark names as strings (CLI help).
 func Names() []string {
+	profMu.RLock()
 	out := make([]string, 0, len(profiles))
 	for n := range profiles {
 		out = append(out, string(n))
 	}
+	profMu.RUnlock()
 	sort.Strings(out)
 	return out
 }
