@@ -3,10 +3,17 @@
 
 GO ?= go
 
-.PHONY: build test test-short race race-short fuzz golden-update bench check
+.PHONY: build vet test test-short race race-short fuzz golden-update bench check
 
 build:
 	$(GO) build ./...
+
+# Static hygiene: go vet plus a gofmt drift check that fails loudly with
+# the offending file list.
+vet:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -37,4 +44,4 @@ golden-update:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
-check: build test race-short
+check: build vet test race-short

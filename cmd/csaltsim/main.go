@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/csalt-sim/csalt"
+	"github.com/csalt-sim/csalt/internal/obs"
 )
 
 func fail(format string, args ...interface{}) {
@@ -49,7 +50,19 @@ func main() {
 		history  = flag.Bool("history", false, "print the per-epoch partition trace")
 		jsonOut  = flag.Bool("json", false, "emit the full Results struct(s) as JSON")
 	)
+	var of obsFlags
+	registerObsFlags(&of)
 	flag.Parse()
+
+	prof, err := obs.StartProfiling(of.pprofAddr, of.cpuProfile, of.memProfile)
+	if err != nil {
+		fail("profiling: %v", err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		}
+	}()
 
 	base := csalt.DefaultConfig()
 	base.Cores = *cores
@@ -112,9 +125,18 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 
-	results, err := csalt.RunMany(cfgs, *parallel)
-	if err != nil {
-		fail("simulation failed: %v", err)
+	var results []*csalt.Results
+	var runErr error
+	if of.observed() {
+		// Observed runs go through sim directly so the observer can attach
+		// to each freshly built system; they run sequentially, each owning
+		// its output files.
+		results, runErr = runObserved(cfgs, &of)
+	} else {
+		results, runErr = csalt.RunMany(cfgs, *parallel)
+	}
+	if runErr != nil {
+		fail("simulation failed: %v", runErr)
 	}
 
 	if *jsonOut {

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/csalt-sim/csalt"
+	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// obsFlags groups the observability and profiling flags; see
+// OBSERVABILITY.md for the full reference.
+type obsFlags struct {
+	metricsOut  string
+	traceOut    string
+	traceFormat string
+	traceEvents string
+	epochCSV    string
+	epochEvery  uint64
+	epochCap    int
+	pprofAddr   string
+	cpuProfile  string
+	memProfile  string
+}
+
+func registerObsFlags(f *obsFlags) {
+	flag.StringVar(&f.metricsOut, "metrics-out", "", "write the end-of-run metrics snapshot (JSON) to this file ('-' for stdout)")
+	flag.StringVar(&f.traceOut, "trace-out", "", "write the structured event trace to this file")
+	flag.StringVar(&f.traceFormat, "trace-format", "jsonl", "trace encoding: jsonl | chrome")
+	flag.StringVar(&f.traceEvents, "trace-events", "all", "comma-separated trace enable list: context_switch,repartition,pom_fill,pom_evict,pom,all,none")
+	flag.StringVar(&f.epochCSV, "epoch-csv", "", "write the epoch time-series (CSV) to this file")
+	flag.Uint64Var(&f.epochEvery, "epoch-every", 0, "memory references between epoch samples (0 = auto from run length)")
+	flag.IntVar(&f.epochCap, "epoch-cap", 0, "epoch sample buffer capacity before downsampling (0 = default)")
+	flag.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&f.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&f.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// observed reports whether any per-run observability output was requested
+// (profiling alone does not change the execution path).
+func (f *obsFlags) observed() bool {
+	return f.metricsOut != "" || f.traceOut != "" || f.epochCSV != ""
+}
+
+// suffixPath inserts a mix suffix before the path's extension:
+// trace.jsonl + gups → trace_gups.jsonl. Used when several mixes each need
+// their own output file.
+func suffixPath(path, suffix string) string {
+	if i := strings.LastIndexByte(path, '.'); i > strings.LastIndexByte(path, '/') {
+		return path[:i] + "_" + suffix + path[i:]
+	}
+	return path + "_" + suffix
+}
+
+// outPath resolves the per-mix output path: with one configuration the
+// flag value is used verbatim, with several each mix gets a suffixed file.
+func outPath(path, mixID string, many bool) string {
+	if path == "" || !many {
+		return path
+	}
+	return suffixPath(path, mixID)
+}
+
+// runObserved executes the configurations sequentially, each with its own
+// observer, and writes the requested artifacts. Sequential because each
+// run owns its output files; observability runs are diagnostic, not
+// sweeps.
+func runObserved(cfgs []csalt.Config, f *obsFlags) ([]*csalt.Results, error) {
+	format, err := obs.ParseFormat(f.traceFormat)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := obs.ParseEvents(f.traceEvents)
+	if err != nil {
+		return nil, err
+	}
+
+	many := len(cfgs) > 1
+	results := make([]*csalt.Results, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := runOneObserved(cfg, f, format, mask, many)
+		if err != nil {
+			return nil, fmt.Errorf("mix %s: %w", cfg.Mix.ID, err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+func runOneObserved(cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool) (*csalt.Results, error) {
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	o := &obs.Observer{SampleEvery: f.epochEvery}
+
+	var traceFile *os.File
+	if f.traceOut != "" {
+		traceFile, err = os.Create(outPath(f.traceOut, cfg.Mix.ID, many))
+		if err != nil {
+			return nil, err
+		}
+		defer traceFile.Close()
+		o.Tracer = obs.NewTracer(traceFile, format, mask)
+	}
+	if f.metricsOut != "" {
+		o.Registry = obs.NewRegistry()
+	}
+	if f.epochCSV != "" {
+		o.Sampler = obs.NewSampler(sim.SamplerColumns(), f.epochCap)
+	}
+	sys.AttachObserver(o)
+
+	res, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	if o.Tracer != nil {
+		if err := o.Tracer.Close(); err != nil {
+			return nil, fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if o.Registry != nil {
+		if err := writeMetrics(o.Registry.Snapshot(), outPath(f.metricsOut, cfg.Mix.ID, many)); err != nil {
+			return nil, err
+		}
+	}
+	if o.Sampler != nil {
+		out, err := os.Create(outPath(f.epochCSV, cfg.Mix.ID, many))
+		if err != nil {
+			return nil, err
+		}
+		defer out.Close()
+		if err := o.Sampler.WriteCSV(out); err != nil {
+			return nil, fmt.Errorf("writing epoch CSV: %w", err)
+		}
+	}
+	return res, nil
+}
+
+func writeMetrics(snap obs.Snapshot, path string) error {
+	if path == "-" {
+		return snap.WriteJSON(os.Stdout)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(out); err != nil {
+		out.Close()
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return out.Close()
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/obs"
 )
 
 func main() {
@@ -34,8 +36,23 @@ func main() {
 		parallel    = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently (<=1 for sequential)")
 		quiet       = flag.Bool("quiet", false, "suppress the per-job progress/ETA line on stderr")
 		paperValues = flag.Bool("paper-values", false, "print the paper's reported values (optionally filtered by -run) and exit")
+		metricsOut  = flag.String("metrics-out", "", "write the engine's throughput counters (JSON) to this file at exit")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	prof, err := obs.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		}
+	}()
 
 	if *paperValues {
 		artifact := *run
@@ -82,9 +99,8 @@ func main() {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
 	eng := experiment.NewEngine(sc, *parallel)
-	if !*quiet {
-		eng.Progress = progressLine
-	}
+	rep := newReporter(os.Stderr, *quiet)
+	eng.Progress = rep.progress
 
 	// One shared job pool for every requested experiment: baselines common
 	// to several figures (e.g. the POM-TLB runs of Figs. 7/8/10/11) are
@@ -93,15 +109,11 @@ func main() {
 	jobs := eng.Jobs(todo...)
 	start := time.Now()
 	if err := eng.Execute(jobs); err != nil {
-		if !*quiet {
-			clearProgress()
-		}
+		rep.clear()
 		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
 		os.Exit(1)
 	}
-	if !*quiet {
-		clearProgress()
-	}
+	rep.clear()
 	simElapsed := time.Since(start)
 
 	for _, e := range todo {
@@ -115,18 +127,42 @@ func main() {
 		table.Render(os.Stdout)
 		fmt.Println()
 	}
-	fmt.Printf("# scale=%s parallel=%d elapsed=%s simulations=%d\n",
-		sc.Name, *parallel, simElapsed.Round(time.Millisecond), eng.Runner.NumRuns())
+	rep.summary(os.Stdout, sc.Name, *parallel, simElapsed, eng.Runner.NumRuns(), eng.Stats())
+
+	if *metricsOut != "" {
+		if err := writeEngineMetrics(*metricsOut, eng.Stats(), sc.Name, *parallel, simElapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// progressLine rewrites one stderr status line per completed job.
-func progressLine(p experiment.Progress) {
-	fmt.Fprintf(os.Stderr, "\r\033[K[%d/%d] %s %s (eta %s)",
-		p.Done, p.Total, p.Label,
-		p.Elapsed.Round(time.Millisecond), p.ETA().Round(time.Second))
-}
-
-// clearProgress erases the status line so tables start on a clean row.
-func clearProgress() {
-	fmt.Fprint(os.Stderr, "\r\033[K")
+// writeEngineMetrics exports the engine's throughput counters as JSON.
+func writeEngineMetrics(path string, es experiment.EngineStats, scale string, parallel int, elapsed time.Duration) error {
+	out := struct {
+		Scale           string  `json:"scale"`
+		Parallel        int     `json:"parallel"`
+		ElapsedSeconds  float64 `json:"elapsed_seconds"`
+		JobsRun         int     `json:"jobs_run"`
+		JobWallSeconds  float64 `json:"job_wall_seconds"`
+		SimCycles       uint64  `json:"sim_cycles"`
+		SimInstructions uint64  `json:"sim_instructions"`
+		CyclesPerSec    float64 `json:"cycles_per_second"`
+	}{
+		Scale: scale, Parallel: parallel, ElapsedSeconds: elapsed.Seconds(),
+		JobsRun: es.JobsRun, JobWallSeconds: es.JobWall.Seconds(),
+		SimCycles: es.SimCycles, SimInstructions: es.SimInstructions,
+		CyclesPerSec: es.CyclesPerSecond(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

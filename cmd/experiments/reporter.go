@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+)
+
+// reporter is the single owner of the stderr status line: every progress,
+// clear and summary write goes through it, so the -quiet check lives in
+// exactly one place and an error path cannot leak a half-drawn line.
+type reporter struct {
+	out   io.Writer
+	quiet bool
+	live  bool // a status line is currently on screen
+}
+
+func newReporter(out io.Writer, quiet bool) *reporter {
+	return &reporter{out: out, quiet: quiet}
+}
+
+// progress rewrites the status line after each completed job, including
+// the job's simulated-cycle throughput from the engine's counters.
+func (r *reporter) progress(p experiment.Progress) {
+	if r.quiet {
+		return
+	}
+	r.live = true
+	line := fmt.Sprintf("[%d/%d] %s %s", p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+	if mcps := p.Throughput() / 1e6; mcps > 0 {
+		line += fmt.Sprintf(" %.1f Mcyc/s", mcps)
+	}
+	line += fmt.Sprintf(" (eta %s)", p.ETA().Round(time.Second))
+	fmt.Fprintf(r.out, "\r\033[K%s", line)
+}
+
+// clear erases the status line so subsequent output starts on a clean row.
+// It is a no-op when quiet or when nothing is on screen.
+func (r *reporter) clear() {
+	if r.quiet || !r.live {
+		return
+	}
+	r.live = false
+	fmt.Fprint(r.out, "\r\033[K")
+}
+
+// summary prints the end-of-run throughput totals (on stdout rules: the
+// caller passes the writer; the reporter only honours -quiet).
+func (r *reporter) summary(w io.Writer, scale string, parallel int, elapsed time.Duration, runs int, es experiment.EngineStats) {
+	fmt.Fprintf(w, "# scale=%s parallel=%d elapsed=%s simulations=%d\n",
+		scale, parallel, elapsed.Round(time.Millisecond), runs)
+	if es.JobsRun > 0 {
+		fmt.Fprintf(w, "# throughput: %.1f Mcycles/s, %.1f Minstr/s (per-job wall %s)\n",
+			es.CyclesPerSecond()/1e6,
+			float64(es.SimInstructions)/es.JobWall.Seconds()/1e6,
+			es.JobWall.Round(time.Millisecond))
+	}
+}

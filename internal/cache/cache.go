@@ -20,6 +20,7 @@ import (
 	"math/bits"
 
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
@@ -176,6 +177,27 @@ func (c *Cache) Profiler() *Profiler { return c.profiler }
 
 // Partition returns the current data-way allocation (Unpartitioned if off).
 func (c *Cache) Partition() int { return c.partition }
+
+// RegisterMetrics publishes the cache's per-type counters and live
+// partition state into an observability group. Closures keep the reads
+// live (see cpu.RegisterMetrics).
+func (c *Cache) RegisterMetrics(g *obs.Group) {
+	g.Counter("data_hits", func() uint64 { return c.Stats.ByType[Data].Hits.Value() })
+	g.Counter("data_misses", func() uint64 { return c.Stats.ByType[Data].Misses.Value() })
+	g.Counter("tlb_hits", func() uint64 { return c.Stats.ByType[Translation].Hits.Value() })
+	g.Counter("tlb_misses", func() uint64 { return c.Stats.ByType[Translation].Misses.Value() })
+	g.Counter("data_insertions", func() uint64 { return c.Stats.Insertions[Data].Value() })
+	g.Counter("tlb_insertions", func() uint64 { return c.Stats.Insertions[Translation].Value() })
+	g.Counter("writebacks", func() uint64 { return c.Stats.Writebacks.Value() })
+	g.Gauge("data_ways", func() float64 { return float64(c.partition) })
+	g.Gauge("tlb_line_frac", func() float64 {
+		tlbLines, valid := c.Occupancy()
+		if valid == 0 {
+			return 0
+		}
+		return float64(tlbLines) / float64(valid)
+	})
+}
 
 // SetPartition sets the number of ways allocated to data lines. Values are
 // clamped to [1, ways-1] so each type always retains at least one way, as

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
@@ -119,6 +120,12 @@ type Controller struct {
 	recordHistory bool
 	history       []Snapshot
 
+	// tr receives repartition events; nil keeps the epoch path silent.
+	tr *obs.Tracer
+	// lastSDat/lastSTr are the weights the most recent epoch used; the
+	// epoch sampler exports them as the live criticality estimate.
+	lastSDat, lastSTr float64
+
 	Stats ControllerStats
 }
 
@@ -191,6 +198,36 @@ func (ctl *Controller) Epoch() uint64 { return ctl.epoch }
 // History returns the recorded per-epoch snapshots.
 func (ctl *Controller) History() []Snapshot { return ctl.history }
 
+// SetTrace attaches an event tracer; nil detaches.
+func (ctl *Controller) SetTrace(t *obs.Tracer) { ctl.tr = t }
+
+// LastWeights returns the (SDat, STr) pair the most recent epoch decision
+// used (1, 1 before the first epoch or for non-criticality schemes).
+func (ctl *Controller) LastWeights() (sDat, sTr float64) {
+	if ctl.lastSDat == 0 && ctl.lastSTr == 0 {
+		return 1, 1
+	}
+	return ctl.lastSDat, ctl.lastSTr
+}
+
+// RegisterMetrics publishes the controller's activity counters and live
+// partition state into an observability group.
+func (ctl *Controller) RegisterMetrics(g *obs.Group) {
+	g.Counter("epochs", func() uint64 { return ctl.Stats.Epochs.Value() })
+	g.Counter("partition_changes", func() uint64 { return ctl.Stats.PartitionChanges.Value() })
+	g.Gauge("data_ways", func() float64 { return float64(ctl.cache.Partition()) })
+	g.Gauge("tlb_way_frac", func() float64 {
+		n := ctl.cache.Partition()
+		if n < 0 {
+			return 0
+		}
+		k := float64(ctl.cache.Ways())
+		return (k - float64(n)) / k
+	})
+	g.Gauge("sdat", func() float64 { d, _ := ctl.LastWeights(); return d })
+	g.Gauge("str", func() float64 { _, t := ctl.LastWeights(); return t })
+}
+
 // OnAccess advances the epoch counter; at each boundary the partition is
 // re-evaluated. Call it once per cache access.
 func (ctl *Controller) OnAccess() {
@@ -211,6 +248,7 @@ func (ctl *Controller) OnAccess() {
 func (ctl *Controller) Repartition() {
 	ctl.epoch++
 	ctl.Stats.Epochs.Inc()
+	before := ctl.cache.Partition()
 
 	sDat, sTr := 1.0, 1.0
 	if ctl.scheme == CriticalityDynamic && ctl.weights != nil {
@@ -222,6 +260,7 @@ func (ctl *Controller) Repartition() {
 			sTr = 1
 		}
 	}
+	ctl.lastSDat, ctl.lastSTr = sDat, sTr
 	prof := ctl.cache.Profiler()
 	// Low-signal guard: with too few profiled accesses the marginal
 	// utilities are noise and the argmax degenerates; hold the current
@@ -247,6 +286,7 @@ func (ctl *Controller) Repartition() {
 		}
 		prof.Reset()
 	}
+	ctl.tr.Repartition(ctl.cache.Name(), ctl.epoch, before, ctl.cache.Partition(), rawBestN, sDat, sTr)
 	if ctl.recordHistory {
 		k := float64(ctl.cache.Ways())
 		ctl.history = append(ctl.history, Snapshot{

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 	"github.com/csalt-sim/csalt/internal/trace"
 )
@@ -82,7 +83,30 @@ type Core struct {
 	outHead     int
 	outCount    int
 
+	// tr receives context-switch events; nil (the default) keeps the
+	// switch path allocation- and branch-cheap.
+	tr *obs.Tracer
+
 	Stats CoreStats
+}
+
+// SetTrace attaches an event tracer; nil detaches.
+func (c *Core) SetTrace(t *obs.Tracer) { c.tr = t }
+
+// RegisterMetrics publishes the core's counters into an observability
+// group. Every metric is a closure over the live core — a bound method
+// value on a value-receiver Counter would freeze the count at registration
+// time.
+func (c *Core) RegisterMetrics(g *obs.Group) {
+	g.Counter("instructions", func() uint64 { return c.Stats.Instructions.Value() })
+	g.Counter("mem_refs", func() uint64 { return c.Stats.MemRefs.Value() })
+	g.Counter("loads", func() uint64 { return c.Stats.Loads.Value() })
+	g.Counter("stores", func() uint64 { return c.Stats.Stores.Value() })
+	g.Counter("context_switches", func() uint64 { return c.Stats.ContextSwitches.Value() })
+	g.Counter("translate_stall_cycles", func() uint64 { return c.Stats.TranslateStall.Value() })
+	g.Counter("data_stall_cycles", func() uint64 { return c.Stats.DataStall.Value() })
+	g.Counter("cycle", func() uint64 { return c.cycle })
+	g.Gauge("ipc", c.IPC)
 }
 
 // New builds a core over its contexts and memory paths.
@@ -150,9 +174,11 @@ func (c *Core) maybeSwitch() {
 		return
 	}
 	for c.cycle >= c.nextSwitch {
+		from := c.cur
 		c.cur = (c.cur + 1) % len(c.contexts)
 		c.nextSwitch += c.cfg.SwitchInterval
 		c.Stats.ContextSwitches.Inc()
+		c.tr.ContextSwitch(c.cycle, c.cfg.ID, from, c.cur)
 	}
 }
 

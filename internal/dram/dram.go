@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
@@ -56,6 +57,10 @@ type Stats struct {
 	RowEmpty     stats.Counter
 	RowConflicts stats.Counter
 	Latency      stats.RunningMean // read request-to-done, CPU cycles
+	// QueueWait is the log2 distribution of cycles a read waited for its
+	// bank (the busy-until backlog) — the queue-occupancy signal the
+	// observability layer exports. Bucket 0 is the uncontended case.
+	QueueWait stats.Log2Histogram
 }
 
 // bank tracks one bank's open row and availability.
@@ -136,6 +141,7 @@ func (d *DRAM) Access(now uint64, addr mem.PAddr, write bool) uint64 {
 		d.Stats.Writes.Inc()
 		return now
 	}
+	d.Stats.QueueWait.Observe(start - now)
 	var lat uint64
 	switch {
 	case b.hasRow && b.openRow == row:
@@ -153,6 +159,19 @@ func (d *DRAM) Access(now uint64, addr mem.PAddr, write bool) uint64 {
 	b.openRow, b.hasRow = row, true
 	d.Stats.Latency.Observe(float64(done - now))
 	return done
+}
+
+// RegisterMetrics publishes the device's counters and the queue-wait
+// distribution into an observability group. Closures keep the reads live
+// (see cpu.RegisterMetrics).
+func (d *DRAM) RegisterMetrics(g *obs.Group) {
+	g.Counter("accesses", func() uint64 { return d.Stats.Accesses.Value() })
+	g.Counter("writes", func() uint64 { return d.Stats.Writes.Value() })
+	g.Counter("row_hits", func() uint64 { return d.Stats.RowHits.Value() })
+	g.Counter("row_empty", func() uint64 { return d.Stats.RowEmpty.Value() })
+	g.Counter("row_conflicts", func() uint64 { return d.Stats.RowConflicts.Value() })
+	g.Gauge("read_latency_mean", func() float64 { return d.Stats.Latency.Mean() })
+	g.Histogram("queue_wait_cycles", &d.Stats.QueueWait)
 }
 
 // RowHitLatency exposes the device's row-hit latency in CPU cycles; the

@@ -36,13 +36,46 @@ func (j Job) Label() string {
 }
 
 // Progress describes one completed job; the Engine reports it after every
-// job finishes so callers can render counters and ETA lines.
+// job finishes so callers can render counters, throughput and ETA lines.
 type Progress struct {
 	Done    int           // jobs completed so far (including this one)
 	Total   int           // jobs in this Execute call
 	Label   string        // the completed job's Label
 	Elapsed time.Duration // wall time of this job alone
 	Since   time.Duration // wall time since Execute started
+
+	// Throughput counters of the completed job's simulation (measured
+	// phase). Zero when the job was a memo-cache hit.
+	Cycles       uint64
+	Instructions uint64
+}
+
+// Throughput returns the completed job's simulated-cycle throughput in
+// cycles per second of wall time (0 for cache hits or instant jobs).
+func (p Progress) Throughput() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Cycles) / p.Elapsed.Seconds()
+}
+
+// EngineStats aggregates per-job throughput counters across an engine's
+// lifetime; cmd/experiments exports them via -metrics-out.
+type EngineStats struct {
+	JobsRun         int           // jobs that actually simulated (not memo hits)
+	JobWall         time.Duration // summed wall time of those jobs
+	SimCycles       uint64        // summed measured cycles across jobs
+	SimInstructions uint64        // summed measured instructions across jobs
+}
+
+// CyclesPerSecond returns the aggregate simulated-cycle throughput over
+// summed per-job wall time (parallel jobs therefore exceed any single
+// job's rate when divided by real elapsed time).
+func (s EngineStats) CyclesPerSecond() float64 {
+	if s.JobWall <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.JobWall.Seconds()
 }
 
 // ETA extrapolates the remaining wall time from the average job cost seen
@@ -70,6 +103,16 @@ type Engine struct {
 	// Progress, when non-nil, is invoked after each job completes. Calls
 	// are serialized by the engine; the callback needs no locking.
 	Progress func(Progress)
+
+	statsMu sync.Mutex
+	stats   EngineStats
+}
+
+// Stats returns a copy of the engine's aggregate throughput counters.
+func (e *Engine) Stats() EngineStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
 }
 
 // NewEngine builds an engine over a fresh runner at the given scale.
@@ -143,8 +186,20 @@ func (e *Engine) Execute(jobs []Job) error {
 				if failed {
 					continue
 				}
+				cached := e.Runner.Cached(j.Config)
 				t0 := time.Now()
-				_, err := e.Runner.Run(j.Config)
+				res, err := e.Runner.Run(j.Config)
+				elapsed := time.Since(t0)
+				var cycles, instrs uint64
+				if err == nil && !cached {
+					cycles, instrs = res.Cycles, res.Instructions
+					e.statsMu.Lock()
+					e.stats.JobsRun++
+					e.stats.JobWall += elapsed
+					e.stats.SimCycles += cycles
+					e.stats.SimInstructions += instrs
+					e.statsMu.Unlock()
+				}
 				mu.Lock()
 				done++
 				if err != nil {
@@ -154,7 +209,8 @@ func (e *Engine) Execute(jobs []Job) error {
 				} else if e.Progress != nil {
 					e.Progress(Progress{
 						Done: done, Total: len(jobs), Label: j.Label(),
-						Elapsed: time.Since(t0), Since: time.Since(start),
+						Elapsed: elapsed, Since: time.Since(start),
+						Cycles: cycles, Instructions: instrs,
 					})
 				}
 				mu.Unlock()

@@ -98,6 +98,14 @@ func (s Scale) BaseConfig() sim.Config {
 type Runner struct {
 	Scale Scale
 
+	// Observe, when non-nil, is invoked on every freshly built system
+	// between construction and Run — the attach point for an
+	// obs.Observer. Configs stay comparable (they key the memo cache), so
+	// observability rides on the system, never on the Config. Set it
+	// before the first Run; results of observed and unobserved runs are
+	// identical (the observability layer is passive).
+	Observe func(*sim.System)
+
 	mu    sync.Mutex
 	cache map[sim.Config]*runEntry
 	runs  int
@@ -128,16 +136,20 @@ func (r *Runner) Run(cfg sim.Config) (*sim.Results, error) {
 	r.runs++
 	r.mu.Unlock()
 
-	e.res, e.err = simulate(cfg)
+	e.res, e.err = r.simulate(cfg)
 	close(e.done)
 	return e.res, e.err
 }
 
-// simulate builds and runs one fresh system.
-func simulate(cfg sim.Config) (*sim.Results, error) {
+// simulate builds and runs one fresh system, attaching the observer hook
+// if one is set.
+func (r *Runner) simulate(cfg sim.Config) (*sim.Results, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if r.Observe != nil {
+		r.Observe(sys)
 	}
 	return sys.Run()
 }

@@ -22,6 +22,19 @@ import (
 // simulates the missing configuration inline — it just loses parallelism;
 // TestJobsCoverRenders enforces the stronger property.)
 
+// geomeanCell renders a geometric-mean summary cell. With all-positive
+// inputs it yields the bare float (formatted "%.3f" by stats.Table, as
+// before); when GeoMeanSkipped drops non-positive entries the cell is
+// annotated, so a degenerate workload cannot silently vanish from a
+// summary row.
+func geomeanCell(xs []float64) interface{} {
+	g, skipped := stats.GeoMeanSkipped(xs)
+	if skipped == 0 {
+		return g
+	}
+	return fmt.Sprintf("%.3f (%d dropped)", g, skipped)
+}
+
 func conventional(cfg sim.Config) sim.Config {
 	cfg.Org = sim.OrgConventional
 	cfg.Scheme = core.None
@@ -209,7 +222,7 @@ func runFig1(r *Runner) (*stats.Table, error) {
 		ratios = append(ratios, ratio)
 		t.AddRow(mix.ID, baseMPKI, two.L2TLBMPKI, ratio)
 	}
-	t.AddRow("geomean", "", "", stats.GeoMean(ratios))
+	t.AddRow("geomean", "", "", geomeanCell(ratios))
 	return t, nil
 }
 
@@ -298,7 +311,7 @@ func runFig3(r *Runner) (*stats.Table, error) {
 		l3s = append(l3s, res.TLBOccupancyL3)
 		t.AddRow(string(w), res.TLBOccupancyL2, res.TLBOccupancyL3)
 	}
-	t.AddRow("geomean", stats.GeoMean(l2s), stats.GeoMean(l3s))
+	t.AddRow("geomean", geomeanCell(l2s), geomeanCell(l3s))
 	return t, nil
 }
 
@@ -344,7 +357,7 @@ func runFig7(r *Runner) (*stats.Table, error) {
 		conv, d, cd = append(conv, nc), append(d, nd), append(cd, ncd)
 		t.AddRow(mix.ID, nc, 1.0, nd, ncd)
 	}
-	t.AddRow("geomean", stats.GeoMean(conv), 1.0, stats.GeoMean(d), stats.GeoMean(cd))
+	t.AddRow("geomean", geomeanCell(conv), 1.0, geomeanCell(d), geomeanCell(cd))
 	return t, nil
 }
 
@@ -463,7 +476,7 @@ func runRelMPKI(r *Runner, level int) (*stats.Table, error) {
 		ds, cds = append(ds, nd), append(cds, ncd)
 		t.AddRow(mix.ID, 1.0, nd, ncd)
 	}
-	t.AddRow("geomean", 1.0, stats.GeoMean(ds), stats.GeoMean(cds))
+	t.AddRow("geomean", 1.0, geomeanCell(ds), geomeanCell(cds))
 	return t, nil
 }
 
@@ -500,7 +513,7 @@ func runFig12(r *Runner) (*stats.Table, error) {
 		impr = append(impr, v)
 		t.AddRow(mix.ID, v)
 	}
-	t.AddRow("geomean", stats.GeoMean(impr))
+	t.AddRow("geomean", geomeanCell(impr))
 	return t, nil
 }
 
@@ -551,7 +564,7 @@ func runFig13(r *Runner) (*stats.Table, error) {
 		tsbs, dips, cds = append(tsbs, nt), append(dips, ndip), append(cds, ncd)
 		t.AddRow(mix.ID, nt, ndip, ncd)
 	}
-	t.AddRow("geomean", stats.GeoMean(tsbs), stats.GeoMean(dips), stats.GeoMean(cds))
+	t.AddRow("geomean", geomeanCell(tsbs), geomeanCell(dips), geomeanCell(cds))
 	return t, nil
 }
 
@@ -599,7 +612,7 @@ func runFig14(r *Runner) (*stats.Table, error) {
 		}
 		t.AddRow(mix.ID, vals[0], vals[1], vals[2])
 	}
-	t.AddRow("geomean", stats.GeoMean(gains[1]), stats.GeoMean(gains[2]), stats.GeoMean(gains[4]))
+	t.AddRow("geomean", geomeanCell(gains[1]), geomeanCell(gains[2]), geomeanCell(gains[4]))
 	return t, nil
 }
 
@@ -643,7 +656,7 @@ func runFig15(r *Runner) (*stats.Table, error) {
 		e0, e2 = append(e0, n0), append(e2, n2)
 		t.AddRow(mix.ID, n0, 1.0, n2)
 	}
-	t.AddRow("geomean", stats.GeoMean(e0), 1.0, stats.GeoMean(e2))
+	t.AddRow("geomean", geomeanCell(e0), 1.0, geomeanCell(e2))
 	return t, nil
 }
 
@@ -692,6 +705,6 @@ func runFig16(r *Runner) (*stats.Table, error) {
 		}
 		t.AddRow(mix.ID, vals[0], vals[1], vals[2])
 	}
-	t.AddRow("geomean", stats.GeoMean(gains[0]), stats.GeoMean(gains[1]), stats.GeoMean(gains[2]))
+	t.AddRow("geomean", geomeanCell(gains[0]), geomeanCell(gains[1]), geomeanCell(gains[2]))
 	return t, nil
 }

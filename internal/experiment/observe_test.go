@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// TestDisabledObserverGoldenTables proves the observability hooks are
+// passive: running the golden experiments with a full observer attached —
+// registry, sampler and a tracer whose mask disables every event — must
+// reproduce the committed golden tables byte for byte.
+func TestDisabledObserverGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale golden sweep")
+	}
+	eng := NewEngine(Tiny, 4)
+	eng.Runner.Observe = func(sys *sim.System) {
+		sys.AttachObserver(&obs.Observer{
+			Registry: obs.NewRegistry(),
+			Tracer:   obs.NewTracer(io.Discard, obs.FormatJSONL, 0),
+			Sampler:  obs.NewSampler(sim.SamplerColumns(), obs.DefaultSamplerCapacity),
+		})
+	}
+	for _, id := range goldenExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			table, err := eng.Run(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := table.String()
+			want, err := os.ReadFile(filepath.Join("testdata", id+"_tiny.golden"))
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenTables with -update first): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table differs with an observer attached — hooks are not passive\n--- want ---\n%s\n--- got ---\n%s",
+					id, want, got)
+			}
+		})
+	}
+}

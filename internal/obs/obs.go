@@ -1,0 +1,23 @@
+package obs
+
+// Observer bundles the three observability facilities a simulated system
+// is wired to at attach time. Any field may be nil: a nil Registry skips
+// metric registration, a nil Tracer leaves every event hook a no-op, and a
+// nil Sampler disables epoch sampling entirely (the per-step check in the
+// run loop is a single pointer compare).
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Sampler  *Sampler
+
+	// SampleEvery is the sampling epoch in the driver's units (for
+	// sim.System: globally retired memory references between samples).
+	// Zero lets the driver pick a default proportional to the run length.
+	SampleEvery uint64
+}
+
+// Enabled reports whether the observer does anything at all; attach paths
+// may skip wiring entirely when it is nil or empty.
+func (o *Observer) Enabled() bool {
+	return o != nil && (o.Registry != nil || o.Tracer != nil || o.Sampler != nil)
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind enumerates the traceable simulator events.
+type EventKind uint8
+
+// Traceable events. Each kind has its own enable bit so a trace can follow,
+// say, only repartition decisions without drowning in context switches.
+const (
+	// EvContextSwitch: a core rotated to its next VM context.
+	EvContextSwitch EventKind = iota
+	// EvRepartition: a CSALT controller finished an epoch and installed
+	// (or deliberately held) a way split.
+	EvRepartition
+	// EvPOMFill: a translation was installed into the POM-TLB.
+	EvPOMFill
+	// EvPOMEvict: a valid POM-TLB entry was displaced by a fill.
+	EvPOMEvict
+	numEventKinds
+)
+
+// String returns the event's wire name, as written to the trace.
+func (k EventKind) String() string {
+	switch k {
+	case EvContextSwitch:
+		return "context_switch"
+	case EvRepartition:
+		return "repartition"
+	case EvPOMFill:
+		return "pom_fill"
+	case EvPOMEvict:
+		return "pom_evict"
+	default:
+		return "unknown"
+	}
+}
+
+// EventMask selects which event kinds a tracer records.
+type EventMask uint32
+
+// AllEvents enables every event kind.
+const AllEvents EventMask = 1<<numEventKinds - 1
+
+// Mask returns the mask bit of one kind.
+func (k EventKind) Mask() EventMask { return 1 << k }
+
+// ParseEvents parses a comma-separated enable list: event names
+// ("context_switch,repartition"), the component alias "pom" (both POM
+// kinds), "all", or "none".
+func ParseEvents(spec string) (EventMask, error) {
+	var m EventMask
+	for _, f := range strings.Split(spec, ",") {
+		switch f = strings.TrimSpace(f); f {
+		case "", "none":
+		case "all":
+			m |= AllEvents
+		case "pom":
+			m |= EvPOMFill.Mask() | EvPOMEvict.Mask()
+		case EvContextSwitch.String():
+			m |= EvContextSwitch.Mask()
+		case EvRepartition.String():
+			m |= EvRepartition.Mask()
+		case EvPOMFill.String():
+			m |= EvPOMFill.Mask()
+		case EvPOMEvict.String():
+			m |= EvPOMEvict.Mask()
+		default:
+			return 0, fmt.Errorf("obs: unknown trace event %q (context_switch|repartition|pom_fill|pom_evict|pom|all|none)", f)
+		}
+	}
+	return m, nil
+}
+
+// Format selects the trace encoding.
+type Format int
+
+// Trace encodings.
+const (
+	// FormatJSONL writes one JSON object per line — the format the golden
+	// tests and ad-hoc jq analysis consume.
+	FormatJSONL Format = iota
+	// FormatChrome writes a Chrome trace_event JSON array of instant
+	// events, loadable in about://tracing or Perfetto. Timestamps are CPU
+	// cycles (trace viewers label them µs; the relative spacing is what
+	// matters). Events without a simulated clock (repartition) use their
+	// sequence number.
+	FormatChrome
+)
+
+// ParseFormat parses "jsonl" or "chrome".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl", "":
+		return FormatJSONL, nil
+	case "chrome":
+		return FormatChrome, nil
+	}
+	return 0, fmt.Errorf("obs: unknown trace format %q (jsonl|chrome)", s)
+}
+
+// Tracer records structured simulator events. Hooks are typed methods with
+// scalar arguments so that a disabled kind — or a nil tracer, the form
+// every unobserved component holds — costs one branch and zero
+// allocations. The simulator is single-goroutine per system, so the tracer
+// is not synchronised; give each concurrently simulated system its own
+// tracer.
+type Tracer struct {
+	mask   EventMask
+	format Format
+	w      *bufio.Writer
+	seq    uint64
+	counts [numEventKinds]uint64
+	opened bool // chrome array header written
+	err    error
+}
+
+// NewTracer builds a tracer writing to w in the given format, recording
+// the kinds enabled in mask.
+func NewTracer(w io.Writer, format Format, mask EventMask) *Tracer {
+	return &Tracer{mask: mask, format: format, w: bufio.NewWriter(w)}
+}
+
+// Enabled reports whether kind k is being recorded; it is the hook-path
+// fast-out and is valid on a nil tracer.
+func (t *Tracer) Enabled(k EventKind) bool {
+	return t != nil && t.mask&k.Mask() != 0
+}
+
+// Events returns the number of events recorded so far.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq
+}
+
+// Count returns the number of events of one kind recorded so far.
+func (t *Tracer) Count(k EventKind) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counts[k]
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// begin advances the sequence counter and, for Chrome format, writes the
+// array framing. It returns the event's sequence number.
+func (t *Tracer) begin(k EventKind) uint64 {
+	t.seq++
+	t.counts[k]++
+	if t.format == FormatChrome {
+		if !t.opened {
+			t.opened = true
+			t.writef("[\n")
+		} else {
+			t.writef(",\n")
+		}
+	}
+	return t.seq
+}
+
+func (t *Tracer) writef(format string, args ...interface{}) {
+	if t.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil {
+		t.err = err
+	}
+}
+
+// ContextSwitch records a core rotating from context `from` to `to` at the
+// given cycle.
+func (t *Tracer) ContextSwitch(cycle uint64, core, from, to int) {
+	if !t.Enabled(EvContextSwitch) {
+		return
+	}
+	seq := t.begin(EvContextSwitch)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"context_switch","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"from":%d,"to":%d}}`,
+			cycle, core, from, to)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"context_switch\",\"cycle\":%d,\"core\":%d,\"from\":%d,\"to\":%d}\n",
+		seq, cycle, core, from, to)
+}
+
+// Repartition records one epoch decision of a CSALT controller: the
+// before/after data-way split, the unfiltered argmax (raw), and the
+// criticality weights in force. The controller has no cycle clock; the
+// epoch number orders the decisions.
+func (t *Tracer) Repartition(cache string, epoch uint64, before, after, raw int, sDat, sTr float64) {
+	if !t.Enabled(EvRepartition) {
+		return
+	}
+	seq := t.begin(EvRepartition)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"repartition","ph":"i","ts":%d,"pid":0,"tid":0,"s":"g","args":{"cache":%q,"epoch":%d,"before":%d,"after":%d,"raw":%d,"sdat":%.4f,"str":%.4f}}`,
+			seq, cache, epoch, before, after, raw, sDat, sTr)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"repartition\",\"cache\":%q,\"epoch\":%d,\"before\":%d,\"after\":%d,\"raw\":%d,\"sdat\":%.4f,\"str\":%.4f}\n",
+		seq, cache, epoch, before, after, raw, sDat, sTr)
+}
+
+// POMFill records a translation installed into the POM-TLB.
+func (t *Tracer) POMFill(cycle uint64, asid, vpn uint64) {
+	if !t.Enabled(EvPOMFill) {
+		return
+	}
+	seq := t.begin(EvPOMFill)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"pom_fill","ph":"i","ts":%d,"pid":0,"tid":0,"s":"g","args":{"asid":%d,"vpn":%d}}`,
+			cycle, asid, vpn)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"pom_fill\",\"cycle\":%d,\"asid\":%d,\"vpn\":%d}\n",
+		seq, cycle, asid, vpn)
+}
+
+// POMEvict records a valid POM-TLB entry displaced by a fill.
+func (t *Tracer) POMEvict(cycle uint64, asid, vpn uint64) {
+	if !t.Enabled(EvPOMEvict) {
+		return
+	}
+	seq := t.begin(EvPOMEvict)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"pom_evict","ph":"i","ts":%d,"pid":0,"tid":0,"s":"g","args":{"asid":%d,"vpn":%d}}`,
+			cycle, asid, vpn)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"pom_evict\",\"cycle\":%d,\"asid\":%d,\"vpn\":%d}\n",
+		seq, cycle, asid, vpn)
+}
+
+// Close finishes the trace (the Chrome array is terminated) and flushes
+// buffered output. The underlying writer is not closed.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	if t.format == FormatChrome {
+		if !t.opened {
+			t.writef("[")
+		}
+		t.writef("\n]\n")
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/csalt-sim/csalt/internal/cpu"
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/trace"
 	"github.com/csalt-sim/csalt/internal/workload"
 )
@@ -30,6 +31,14 @@ type System struct {
 	cores []*cpu.Core
 	vms   []*vmState
 	snaps []coreSnap
+
+	// Observability (nil/zero unless AttachObserver was called). The run
+	// loop's only added cost when disabled is one nil compare per step.
+	obs         *obs.Observer
+	sampleEvery uint64
+	sinceSample uint64
+	sampleSeq   uint64
+	sampleBase  sampleBase
 }
 
 // New builds a System from cfg.
@@ -150,6 +159,13 @@ func (s *System) Run() (*Results, error) {
 		if !ok {
 			return nil, fmt.Errorf("sim: core %d trace ended prematurely", next.ID())
 		}
+		if s.obs != nil && s.obs.Sampler != nil {
+			s.sinceSample++
+			if s.sinceSample >= s.sampleEvery {
+				s.sinceSample = 0
+				s.sample()
+			}
+		}
 		if !warmed {
 			crossed := true
 			for _, c := range s.cores {
@@ -162,6 +178,11 @@ func (s *System) Run() (*Results, error) {
 				warmed = true
 				s.mem.resetStats()
 				s.takeSnaps()
+				if s.obs != nil && s.obs.Sampler != nil {
+					// The reset zeroed the counters under the sampler's
+					// baseline; re-anchor so the next delta is not negative.
+					s.captureBase()
+				}
 			}
 		}
 	}

@@ -112,7 +112,7 @@ func (m *memSystem) translatePOM(t uint64, v mem.VAddr, asid mem.ASID, coreID in
 	}
 	m.Stats.PageWalks.Inc()
 	if multiSize && res.Size == mem.Page2M {
-		m.pom.InsertSized(v, asid, res.Frame, mem.Page2M)
+		m.pom.InsertSizedAt(res.Done, v, asid, res.Frame, mem.Page2M)
 		m.Access(res.Done, m.pom.LineAddrSized(v, asid, mem.Page2M), true, cache.Translation, coreID)
 		return res.Done, res.Frame, res.Size, nil
 	}
@@ -121,7 +121,7 @@ func (m *memSystem) translatePOM(t uint64, v mem.VAddr, asid mem.ASID, coreID in
 	if res.Size == mem.Page2M {
 		frame4k += mem.PAddr(mem.PageOffset(v, mem.Page2M) &^ (mem.PageSize4K - 1))
 	}
-	m.pom.Insert(v, asid, frame4k)
+	m.pom.InsertAt(res.Done, v, asid, frame4k)
 	// The POM line was modified: a posted dirty write into the caches.
 	m.Access(res.Done, line, true, cache.Translation, coreID)
 	return res.Done, res.Frame, res.Size, nil

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeoMeanSkipped(t *testing.T) {
+	g, skipped := GeoMeanSkipped([]float64{2, 8})
+	if skipped != 0 || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMeanSkipped(2,8) = %v, %d; want 4, 0", g, skipped)
+	}
+	g, skipped = GeoMeanSkipped([]float64{2, 0, 8, -1})
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Fatalf("mean over surviving entries = %v, want 4", g)
+	}
+	if g, skipped = GeoMeanSkipped(nil); g != 0 || skipped != 0 {
+		t.Fatalf("GeoMeanSkipped(nil) = %v, %d; want 0, 0", g, skipped)
+	}
+	if g, skipped = GeoMeanSkipped([]float64{0}); g != 0 || skipped != 1 {
+		t.Fatalf("GeoMeanSkipped(0) = %v, %d; want 0, 1", g, skipped)
+	}
+	// The wrapper must agree with the skipping variant.
+	if got := GeoMean([]float64{2, 0, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,0,8) = %v, want 4", got)
+	}
+}
+
+func TestLog2HistogramBuckets(t *testing.T) {
+	var h Log2Histogram
+	// Bucket 0 is [0,1); bucket i is [2^(i-1), 2^i).
+	cases := []struct {
+		x      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		h.Observe(c.x)
+		if got := h.Bucket(c.bucket); got == 0 {
+			t.Errorf("Observe(%d): bucket %d empty", c.x, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if c.x < lo || c.x >= hi {
+			t.Errorf("Observe(%d) landed in bucket %d = [%d,%d)", c.x, c.bucket, lo, hi)
+		}
+	}
+	if h.Total() != uint64(len(cases)) {
+		t.Fatalf("Total = %d, want %d", h.Total(), len(cases))
+	}
+	var sum uint64
+	for _, c := range cases {
+		sum += c.x
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+	}
+	if want := float64(sum) / float64(len(cases)); math.Abs(h.Mean()-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+func TestLog2HistogramNonzeroAndString(t *testing.T) {
+	var h Log2Histogram
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(5)
+	var visited, counted uint64
+	h.Nonzero(func(i int, lo, hi, count uint64) {
+		visited++
+		counted += count
+		if lo2, hi2 := BucketBounds(i); lo != lo2 || hi != hi2 {
+			t.Errorf("bucket %d bounds mismatch: (%d,%d) vs (%d,%d)", i, lo, hi, lo2, hi2)
+		}
+	})
+	if visited != 2 || counted != 3 {
+		t.Fatalf("Nonzero visited %d buckets / %d samples, want 2 / 3", visited, counted)
+	}
+	if s := h.String(); !strings.Contains(s, ":2") {
+		t.Fatalf("String() = %q, want the [4,8) bucket count in it", s)
+	}
+}
+
+func TestLog2HistogramValueSemantics(t *testing.T) {
+	// Components reset stats with struct-literal assignment; the histogram
+	// must be a self-contained value for that to work.
+	type wrapped struct{ H Log2Histogram }
+	w := wrapped{}
+	w.H.Observe(7)
+	w = wrapped{}
+	if w.H.Total() != 0 {
+		t.Fatalf("zeroing the enclosing struct left Total = %d", w.H.Total())
+	}
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -42,8 +43,19 @@ func MPKI(misses, instructions uint64) float64 {
 
 // GeoMean returns the geometric mean of xs, skipping non-positive entries
 // (which would otherwise poison the product). The paper reports all
-// cross-workload aggregates as geometric means.
+// cross-workload aggregates as geometric means. Callers that must not hide
+// dropped workloads should use GeoMeanSkipped and surface the count.
 func GeoMean(xs []float64) float64 {
+	g, _ := GeoMeanSkipped(xs)
+	return g
+}
+
+// GeoMeanSkipped is GeoMean, additionally reporting how many non-positive
+// entries were dropped from the aggregate. A non-zero skip count means the
+// mean summarises fewer workloads than the caller supplied — experiment
+// tables flag it so a degenerate run cannot silently vanish into an
+// aggregate row.
+func GeoMeanSkipped(xs []float64) (mean float64, skipped int) {
 	sum, n := 0.0, 0
 	for _, x := range xs {
 		if x > 0 {
@@ -51,10 +63,11 @@ func GeoMean(xs []float64) float64 {
 			n++
 		}
 	}
+	skipped = len(xs) - n
 	if n == 0 {
-		return 0
+		return 0, skipped
 	}
-	return math.Exp(sum / float64(n))
+	return math.Exp(sum / float64(n)), skipped
 }
 
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
@@ -165,5 +178,82 @@ func (h *Histogram) String() string {
 		prev = b
 	}
 	s += fmt.Sprintf("[%d,+inf):%d", prev, h.counts[len(h.bounds)])
+	return s
+}
+
+// Log2Histogram is a power-of-two-bucketed histogram over uint64 samples:
+// bucket 0 counts zeros and bucket i (i >= 1) counts samples in
+// [2^(i-1), 2^i). It needs no bound configuration, covers the full uint64
+// range, and is a plain value type, so stat blocks that are reset by struct
+// re-assignment (walker.Stats, dram.Stats) can embed it directly. The
+// observability layer exports it for distribution-style metrics — page-walk
+// latency and DRAM queueing delay.
+type Log2Histogram struct {
+	counts [65]uint64
+	total  uint64
+	sum    uint64
+}
+
+// Observe adds one sample.
+func (h *Log2Histogram) Observe(x uint64) {
+	h.counts[bits.Len64(x)]++
+	h.total++
+	h.sum += x
+}
+
+// Total returns the number of samples observed.
+func (h *Log2Histogram) Total() uint64 { return h.total }
+
+// Sum returns the sum of all samples.
+func (h *Log2Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the arithmetic mean of the samples (0 with none).
+func (h *Log2Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Bucket returns the count of bucket i in [0, 65).
+func (h *Log2Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// BucketBounds returns the half-open range [lo, hi) of bucket i; bucket 0
+// is the exact value 0 (returned as [0, 1)), and the top bucket's hi
+// saturates at MaxUint64.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i == 0 {
+		return 0, 1
+	}
+	lo = uint64(1) << (i - 1)
+	if i >= 64 {
+		return lo, math.MaxUint64
+	}
+	return lo, uint64(1) << i
+}
+
+// Nonzero visits every non-empty bucket in ascending order.
+func (h *Log2Histogram) Nonzero(visit func(i int, lo, hi, count uint64)) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		visit(i, lo, hi, c)
+	}
+}
+
+// String renders the non-empty buckets compactly for debugging.
+func (h *Log2Histogram) String() string {
+	s := ""
+	h.Nonzero(func(_ int, lo, hi, count uint64) {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("[%d,%d):%d", lo, hi, count)
+	})
+	if s == "" {
+		return "(empty)"
+	}
 	return s
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
@@ -26,8 +27,24 @@ type POM struct {
 	next     uint64
 	hashSeed uint64
 
+	// tr receives fill/evict events; nil keeps the insert path silent.
+	tr *obs.Tracer
+
 	Accesses stats.HitRate
 	Inserts  stats.Counter
+}
+
+// SetTrace attaches an event tracer; nil detaches.
+func (p *POM) SetTrace(t *obs.Tracer) { p.tr = t }
+
+// RegisterMetrics publishes the POM-TLB's counters into an observability
+// group. Closures keep the reads live (see cpu.RegisterMetrics).
+func (p *POM) RegisterMetrics(g *obs.Group) {
+	g.Counter("hits", func() uint64 { return p.Accesses.Hits.Value() })
+	g.Counter("misses", func() uint64 { return p.Accesses.Misses.Value() })
+	g.Counter("inserts", func() uint64 { return p.Inserts.Value() })
+	g.Gauge("hit_rate", func() float64 { return p.Accesses.Rate() })
+	g.Gauge("utilization", p.Utilization)
 }
 
 // EntriesPerLine is the POM-TLB's set associativity: four 16-byte entries
@@ -146,11 +163,25 @@ func (p *POM) LookupAnySize(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize
 // conflict. The caller is responsible for the corresponding dirty-line
 // write into the cache hierarchy (the POM line was modified).
 func (p *POM) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr) {
-	p.InsertSized(v, asid, frame, mem.Page4K)
+	p.InsertSizedAt(0, v, asid, frame, mem.Page4K)
+}
+
+// InsertAt is Insert stamped with the fill's completion cycle, which the
+// tracer records on the fill (and any evict) event.
+func (p *POM) InsertAt(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PAddr) {
+	p.InsertSizedAt(now, v, asid, frame, mem.Page4K)
 }
 
 // InsertSized installs a translation of an explicit page size.
 func (p *POM) InsertSized(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
+	p.InsertSizedAt(0, v, asid, frame, size)
+}
+
+// InsertSizedAt installs a translation of an explicit page size, stamping
+// any trace events with the given cycle. A refresh of an existing entry is
+// not a fill; an evict event fires only when a valid entry for a different
+// page is displaced.
+func (p *POM) InsertSizedAt(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
 	vpn := mem.PageNumber(v, size)
 	base := int(p.setOf(vpn, asid, size)) * p.ways
 	victim := base
@@ -169,9 +200,13 @@ func (p *POM) InsertSized(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.
 			victim = base + w
 		}
 	}
+	if ev := &p.entries[victim]; ev.valid {
+		p.tr.POMEvict(now, uint64(ev.asid), ev.vpn)
+	}
 	p.next++
 	p.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: p.next, valid: true}
 	p.Inserts.Inc()
+	p.tr.POMFill(now, uint64(asid), vpn)
 }
 
 // Utilization returns the fraction of POM entries currently valid.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
@@ -82,6 +83,15 @@ func (t *TLB) Latency() uint64 { return t.cfg.Latency }
 
 // Entries returns the capacity.
 func (t *TLB) Entries() int { return len(t.entries) }
+
+// RegisterMetrics publishes the TLB's hit/miss counters into an
+// observability group. Closures keep the reads live (see
+// cpu.RegisterMetrics).
+func (t *TLB) RegisterMetrics(g *obs.Group) {
+	g.Counter("hits", func() uint64 { return t.Accesses.Hits.Value() })
+	g.Counter("misses", func() uint64 { return t.Accesses.Misses.Value() })
+	g.Gauge("hit_rate", func() float64 { return t.Accesses.Rate() })
+}
 
 func (t *TLB) set(vpn uint64) int { return int(vpn & t.setMask) }
 

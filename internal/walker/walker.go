@@ -15,6 +15,7 @@ import (
 
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/pagetable"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
@@ -62,6 +63,9 @@ type Stats struct {
 	PSCHits     stats.Counter
 	NestedHits  stats.Counter
 	NestedWalks stats.Counter // host walks triggered by guest-PTE refs
+	// WalkCyclesHist is the log2 distribution of per-walk latency; the mean
+	// alone hides the 2-D walk's long tail.
+	WalkCyclesHist stats.Log2Histogram
 }
 
 // pscEntry caches "the node frame a walk for this region reaches at level L".
@@ -278,6 +282,7 @@ func (w *Walker) Walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 		}
 		w.pscFill(&w.guestPSC, asid, v, w.steps)
 		w.Stats.WalkCycles.Observe(float64(t - now))
+		w.Stats.WalkCyclesHist.Observe(t - now)
 		return Result{Done: t, Frame: frame, Size: size}, nil
 	}
 
@@ -306,5 +311,19 @@ func (w *Walker) Walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 		return Result{}, err
 	}
 	w.Stats.WalkCycles.Observe(float64(t - now))
+	w.Stats.WalkCyclesHist.Observe(t - now)
 	return Result{Done: t, Frame: finalHPA &^ (mem.PageSize4K - 1), Size: mem.Page4K}, nil
+}
+
+// RegisterMetrics publishes the walker's counters and the walk-latency
+// distribution into an observability group. Closures keep the reads live
+// (see cpu.RegisterMetrics).
+func (w *Walker) RegisterMetrics(g *obs.Group) {
+	g.Counter("walks", func() uint64 { return w.Stats.Walks.Value() })
+	g.Counter("mem_accesses", func() uint64 { return w.Stats.MemAccesses.Value() })
+	g.Counter("psc_hits", func() uint64 { return w.Stats.PSCHits.Value() })
+	g.Counter("nested_hits", func() uint64 { return w.Stats.NestedHits.Value() })
+	g.Counter("nested_walks", func() uint64 { return w.Stats.NestedWalks.Value() })
+	g.Gauge("walk_cycles_mean", func() float64 { return w.Stats.WalkCycles.Mean() })
+	g.Histogram("walk_cycles", &w.Stats.WalkCyclesHist)
 }
