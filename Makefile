@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short fuzz golden-update bench check
+.PHONY: build vet test test-short race race-short race-fault fuzz golden-update bench check
+
+# Every test invocation gets a hard -timeout (a wedged test must fail, not
+# hang CI — the same philosophy as the simulator's own watchdogs) and
+# -shuffle=on (order-dependent tests must not survive review).
+TESTFLAGS ?= -timeout 10m -shuffle=on
 
 build:
 	$(GO) build ./...
@@ -16,20 +21,28 @@ vet:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 test-short:
-	$(GO) test -short ./...
+	$(GO) test $(TESTFLAGS) -short ./...
 
 # Full race run: includes the parallel-determinism test (fig7 at tiny
 # scale under 1 and 8 workers) and the micro-scale engine sweeps.
 race:
-	$(GO) test -race ./...
+	$(GO) test $(TESTFLAGS) -race ./...
 
 # Quick race smoke: the short-mode subset still runs TestRaceSmoke, which
 # executes a concurrent experiment pair through the worker pool.
 race-short:
-	$(GO) test -race -short ./...
+	$(GO) test $(TESTFLAGS) -race -short ./...
+
+# Race coverage of the robustness layer's concurrency paths — panic
+# isolation, mid-sweep cancellation, per-job deadlines, checkpoint-store
+# appends and kill/resume — including the tests that -short skips.
+race-fault:
+	$(GO) test $(TESTFLAGS) -race \
+		-run 'Cancel|Panic|Timeout|Transient|Resume|KeepGoing|FailFast|Concurrent|Singleflight|Watchdog|Torn' \
+		./internal/experiment/ ./internal/checkpoint/ ./internal/sim/
 
 # Bounded fuzz pass over the workload generators (footprint containment
 # and seed determinism). Extend -fuzztime for deeper soaks.
@@ -44,4 +57,4 @@ golden-update:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
-check: build vet test race-short
+check: build vet test race-short race-fault

@@ -12,21 +12,38 @@
 // flag, run concurrently across -parallel workers, and print in the order
 // given (each simulation is independent and deterministic, so the output
 // does not depend on the parallelism level).
+//
+// SIGINT/SIGTERM cancel in-flight simulations cooperatively; observed runs
+// still flush whatever trace/metrics/epoch artifacts accumulated before
+// the signal. Exit codes: 0 success, 1 simulation failure, 2 usage/config
+// error, 130 interrupted (see ROBUSTNESS.md).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/csalt-sim/csalt"
 	"github.com/csalt-sim/csalt/internal/obs"
 )
 
-func fail(format string, args ...interface{}) {
+// usageFail reports a usage/configuration error (bad flag value, unknown
+// mix/org/scheme) and exits 2, distinguishable from simulation failures.
+func usageFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// simFail reports a simulation failure and exits 1.
+func simFail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }
@@ -49,6 +66,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "simulations to run concurrently when -mix lists several")
 		history  = flag.Bool("history", false, "print the per-epoch partition trace")
 		jsonOut  = flag.Bool("json", false, "emit the full Results struct(s) as JSON")
+		stallCyc = flag.Uint64("stall-cycles", 10_000_000, "forward-progress watchdog: fail a run if no instruction retires for this many simulated cycles (0 = off)")
 	)
 	var of obsFlags
 	registerObsFlags(&of)
@@ -56,7 +74,7 @@ func main() {
 
 	prof, err := obs.StartProfiling(of.pprofAddr, of.cpuProfile, of.memProfile)
 	if err != nil {
-		fail("profiling: %v", err)
+		usageFail("profiling: %v", err)
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
@@ -83,7 +101,7 @@ func main() {
 	case "tsb":
 		base.Org = csalt.OrgTSB
 	default:
-		fail("unknown org %q", *org)
+		usageFail("unknown org %q", *org)
 	}
 	switch *scheme {
 	case "none":
@@ -95,7 +113,7 @@ func main() {
 	case "csalt-cd":
 		base.Scheme = csalt.SchemeCSALTCD
 	default:
-		fail("unknown scheme %q", *scheme)
+		usageFail("unknown scheme %q", *scheme)
 	}
 
 	var cfgs []csalt.Config
@@ -103,7 +121,7 @@ func main() {
 		for _, id := range strings.Split(*mixID, ",") {
 			mix, err := csalt.MixByID(strings.TrimSpace(id))
 			if err != nil {
-				fail("%v", err)
+				usageFail("%v", err)
 			}
 			cfg := base
 			cfg.Mix = mix
@@ -112,12 +130,12 @@ func main() {
 	} else {
 		b1, err := csalt.ParseBenchmark(*vm1)
 		if err != nil {
-			fail("%v", err)
+			usageFail("%v", err)
 		}
 		b2 := b1
 		if *vm2 != "" {
 			if b2, err = csalt.ParseBenchmark(*vm2); err != nil {
-				fail("%v", err)
+				usageFail("%v", err)
 			}
 		}
 		cfg := base
@@ -125,36 +143,59 @@ func main() {
 		cfgs = append(cfgs, cfg)
 	}
 
+	// Ctrl-C / SIGTERM cancel in-flight simulations cooperatively; finished
+	// results still print and observed runs flush partial artifacts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var results []*csalt.Results
 	var runErr error
 	if of.observed() {
 		// Observed runs go through sim directly so the observer can attach
 		// to each freshly built system; they run sequentially, each owning
 		// its output files.
-		results, runErr = runObserved(cfgs, &of)
+		results, runErr = runObserved(ctx, cfgs, &of, *stallCyc)
 	} else {
-		results, runErr = csalt.RunMany(cfgs, *parallel)
-	}
-	if runErr != nil {
-		fail("simulation failed: %v", runErr)
+		results, runErr = csalt.RunManyContext(ctx, cfgs, csalt.ManyOpts{
+			Parallel:         *parallel,
+			StallLimitCycles: *stallCyc,
+		})
 	}
 
+	// Print every configuration that finished before reporting failures, so
+	// an interrupted or partially failed multi-mix run is not all-or-nothing.
+	printed := 0
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		for _, res := range results {
-			if err := enc.Encode(res); err != nil {
-				fail("encoding results: %v", err)
+			if res == nil {
+				continue
 			}
+			if err := enc.Encode(res); err != nil {
+				simFail("encoding results: %v", err)
+			}
+			printed++
 		}
-		return
+	} else {
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			if printed > 0 {
+				fmt.Println()
+			}
+			report(cfgs[i], res, *history)
+			printed++
+		}
 	}
 
-	for i, res := range results {
-		if i > 0 {
-			fmt.Println()
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "interrupted: %d of %d simulations finished\n", printed, len(cfgs))
+			os.Exit(130)
 		}
-		report(cfgs[i], res, *history)
+		simFail("simulation failed: %v", runErr)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,8 +68,10 @@ func outPath(path, mixID string, many bool) string {
 // runObserved executes the configurations sequentially, each with its own
 // observer, and writes the requested artifacts. Sequential because each
 // run owns its output files; observability runs are diagnostic, not
-// sweeps.
-func runObserved(cfgs []csalt.Config, f *obsFlags) ([]*csalt.Results, error) {
+// sweeps. A cancelled run still flushes whatever artifacts it accumulated
+// (a partial trace of a run you had to kill is exactly the diagnostic you
+// wanted), and remaining configurations are skipped with nil result slots.
+func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLimit uint64) ([]*csalt.Results, error) {
 	format, err := obs.ParseFormat(f.traceFormat)
 	if err != nil {
 		return nil, err
@@ -81,19 +84,25 @@ func runObserved(cfgs []csalt.Config, f *obsFlags) ([]*csalt.Results, error) {
 	many := len(cfgs) > 1
 	results := make([]*csalt.Results, len(cfgs))
 	for i, cfg := range cfgs {
-		res, err := runOneObserved(cfg, f, format, mask, many)
+		if ctx.Err() != nil {
+			return results, fmt.Errorf("observed run interrupted: %w", context.Cause(ctx))
+		}
+		res, err := runOneObserved(ctx, cfg, f, format, mask, many, stallLimit)
 		if err != nil {
-			return nil, fmt.Errorf("mix %s: %w", cfg.Mix.ID, err)
+			return results, fmt.Errorf("mix %s: %w", cfg.Mix.ID, err)
 		}
 		results[i] = res
 	}
 	return results, nil
 }
 
-func runOneObserved(cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool) (*csalt.Results, error) {
+func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool, stallLimit uint64) (*csalt.Results, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if stallLimit > 0 {
+		sys.SetStallLimit(stallLimit)
 	}
 
 	o := &obs.Observer{SampleEvery: f.epochEvery}
@@ -115,32 +124,40 @@ func runOneObserved(cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.E
 	}
 	sys.AttachObserver(o)
 
-	res, err := sys.Run()
-	if err != nil {
-		return nil, err
-	}
+	res, runErr := sys.RunContext(ctx)
 
+	// Flush artifacts even when the run was cut short: the events, metrics
+	// and epoch samples up to the cancellation point are already in the
+	// observer and are often the whole reason the run was observed.
 	if o.Tracer != nil {
-		if err := o.Tracer.Close(); err != nil {
+		if err := o.Tracer.Close(); err != nil && runErr == nil {
 			return nil, fmt.Errorf("writing trace: %w", err)
 		}
 	}
 	if o.Registry != nil {
-		if err := writeMetrics(o.Registry.Snapshot(), outPath(f.metricsOut, cfg.Mix.ID, many)); err != nil {
+		if err := writeMetrics(o.Registry.Snapshot(), outPath(f.metricsOut, cfg.Mix.ID, many)); err != nil && runErr == nil {
 			return nil, err
 		}
 	}
 	if o.Sampler != nil {
-		out, err := os.Create(outPath(f.epochCSV, cfg.Mix.ID, many))
-		if err != nil {
+		if err := writeEpochCSV(o.Sampler, outPath(f.epochCSV, cfg.Mix.ID, many)); err != nil && runErr == nil {
 			return nil, err
 		}
-		defer out.Close()
-		if err := o.Sampler.WriteCSV(out); err != nil {
-			return nil, fmt.Errorf("writing epoch CSV: %w", err)
-		}
 	}
-	return res, nil
+	return res, runErr
+}
+
+// writeEpochCSV flushes the sampler's series to path.
+func writeEpochCSV(s *obs.Sampler, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteCSV(out); err != nil {
+		out.Close()
+		return fmt.Errorf("writing epoch CSV: %w", err)
+	}
+	return out.Close()
 }
 
 func writeMetrics(snap obs.Snapshot, path string) error {

@@ -3,6 +3,8 @@
 //	experiments -list
 //	experiments -run fig7 -scale small
 //	experiments -run all -scale paper -parallel 8
+//	experiments -run all -results-dir out/sweep        # durable results
+//	experiments -run all -results-dir out/sweep -resume # continue a killed sweep
 //
 // Scales trade fidelity for time: "tiny" (seconds, 2 cores), "small"
 // (default; full 8-core machine, scaled footprints), "paper" (full
@@ -12,21 +14,50 @@
 // Simulations fan out across -parallel workers (default: all CPUs). The
 // independent units are (workload mix × configuration) simulations; the
 // rendered tables are merged in deterministic order and are byte-identical
-// at every parallelism level, including -parallel 1.
+// at every parallelism level, including -parallel 1 — and, with
+// -results-dir/-resume, identical whether the sweep ran uninterrupted or
+// was killed and resumed (see ROBUSTNESS.md).
+//
+// Fault tolerance: SIGINT/SIGTERM cancel the sweep cleanly (completed
+// results stay durable under -results-dir and -metrics-out still flushes);
+// -keep-going runs every job past failures and renders failed cells as
+// ERR; -job-timeout bounds each job's wall-clock time; -stall-cycles arms
+// the in-simulator forward-progress watchdog.
+//
+// Exit codes: 0 success, 1 simulation failure (failing job labels on
+// stderr), 2 usage/config error, 130 interrupted by signal.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
+	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/experiment"
 	"github.com/csalt-sim/csalt/internal/obs"
 )
+
+// Exit codes: usage/config errors are distinguishable from simulation
+// failures so sweep scripts can tell a typo from a broken run.
+const (
+	exitSimFailure  = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
+// usageFail reports a usage/configuration error and exits 2.
+func usageFail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(exitUsage)
+}
 
 func main() {
 	var (
@@ -37,6 +68,12 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress the per-job progress/ETA line on stderr")
 		paperValues = flag.Bool("paper-values", false, "print the paper's reported values (optionally filtered by -run) and exit")
 		metricsOut  = flag.String("metrics-out", "", "write the engine's throughput counters (JSON) to this file at exit")
+		keepGoing   = flag.Bool("keep-going", false, "run every job past failures; failed cells render as ERR and the exit code is still 1")
+		resultsDir  = flag.String("results-dir", "", "persist each completed result to an append-only store in this directory")
+		resume      = flag.Bool("resume", false, "replay completed results from -results-dir instead of re-simulating them")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); an overrunning job fails, the sweep continues per -keep-going")
+		stallCycles = flag.Uint64("stall-cycles", 10_000_000, "in-simulator watchdog: fail a job if no instruction retires for this many simulated cycles (0 = off)")
+		retries     = flag.Int("retries", 0, "bounded retries for transient job failures")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -45,8 +82,7 @@ func main() {
 
 	prof, err := obs.StartProfiling(*pprofAddr, *cpuProfile, *memProfile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
-		os.Exit(1)
+		usageFail("profiling: %v", err)
 	}
 	defer func() {
 		if err := prof.Stop(); err != nil {
@@ -77,8 +113,7 @@ func main() {
 
 	sc, err := experiment.ScaleByName(*scale)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		usageFail("%v", err)
 	}
 
 	var todo []experiment.Experiment
@@ -88,19 +123,46 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e, ok := experiment.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(1)
+				usageFail("unknown experiment %q (use -list)", id)
 			}
 			todo = append(todo, e)
 		}
+	}
+	if *resume && *resultsDir == "" {
+		usageFail("-resume needs -results-dir")
 	}
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
 	eng := experiment.NewEngine(sc, *parallel)
+	eng.KeepGoing = *keepGoing
+	eng.JobTimeout = *jobTimeout
+	eng.Runner.StallLimit = *stallCycles
+	eng.Runner.MaxRetries = *retries
+	eng.Runner.RetryBackoff = 100 * time.Millisecond
+
+	var store *checkpoint.Store
+	if *resultsDir != "" {
+		store, err = checkpoint.Open(*resultsDir, *resume)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		defer store.Close()
+		eng.Runner.Store = store
+		if *resume && store.Replayed() > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d completed results on record\n", store.Replayed())
+		}
+	}
+
 	rep := newReporter(os.Stderr, *quiet)
 	eng.Progress = rep.progress
+
+	// Ctrl-C / SIGTERM cancel the sweep cooperatively: in-flight
+	// simulations stop within a few hundred steps, completed results stay
+	// durable in the store, and the metrics/summary still flush below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// One shared job pool for every requested experiment: baselines common
 	// to several figures (e.g. the POM-TLB runs of Figs. 7/8/10/11) are
@@ -108,19 +170,49 @@ func main() {
 	// experiment boundaries.
 	jobs := eng.Jobs(todo...)
 	start := time.Now()
-	if err := eng.Execute(jobs); err != nil {
-		rep.clear()
-		fmt.Fprintf(os.Stderr, "simulation failed: %v\n", err)
-		os.Exit(1)
-	}
+	execErr := eng.ExecuteContext(ctx, jobs)
 	rep.clear()
 	simElapsed := time.Since(start)
+
+	flushMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := writeEngineMetrics(*metricsOut, eng.Stats(), sc.Name, *parallel, simElapsed); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+		}
+	}
+
+	if ctx.Err() != nil {
+		// Interrupted: flush what exists — metrics, the summary, and any
+		// table whose jobs all completed before the signal landed.
+		fmt.Fprintf(os.Stderr, "interrupted: %v\n", execErr)
+		renderPartialTables(eng, todo)
+		rep.summary(os.Stdout, sc.Name, *parallel, simElapsed, eng.Runner.NumRuns(), eng.Stats())
+		flushMetrics()
+		if store != nil {
+			fmt.Fprintf(os.Stderr, "completed results saved; rerun with -results-dir %s -resume to continue\n", *resultsDir)
+		}
+		os.Exit(exitInterrupted)
+	}
+	if execErr != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:")
+		for _, l := range errorLabels(execErr) {
+			fmt.Fprintf(os.Stderr, "  %s\n", l)
+		}
+		if !*keepGoing {
+			flushMetrics()
+			os.Exit(exitSimFailure)
+		}
+		// keep-going: fall through and render tables with ERR cells.
+	}
 
 	for _, e := range todo {
 		table, err := e.Run(eng.Runner)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			flushMetrics()
+			os.Exit(exitSimFailure)
 		}
 		fmt.Printf("# %s — %s\n", e.ID, e.Title)
 		fmt.Printf("# paper: %s\n", e.PaperClaim)
@@ -128,12 +220,38 @@ func main() {
 		fmt.Println()
 	}
 	rep.summary(os.Stdout, sc.Name, *parallel, simElapsed, eng.Runner.NumRuns(), eng.Stats())
+	flushMetrics()
+	if execErr != nil {
+		os.Exit(exitSimFailure)
+	}
+}
 
-	if *metricsOut != "" {
-		if err := writeEngineMetrics(*metricsOut, eng.Stats(), sc.Name, *parallel, simElapsed); err != nil {
-			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
-			os.Exit(1)
+// renderPartialTables prints every requested table whose full job list
+// already has results (memo or store), and names the ones still missing
+// work — the "partial tables" flush on the interrupt path. Tables with
+// incomplete job lists are skipped rather than triggering inline
+// re-simulation of the missing configurations.
+func renderPartialTables(eng *experiment.Engine, todo []experiment.Experiment) {
+	for _, e := range todo {
+		complete := true
+		for _, j := range eng.Jobs(e) {
+			if !eng.Runner.Cached(j.Config) {
+				complete = false
+				break
+			}
 		}
+		if !complete {
+			fmt.Fprintf(os.Stderr, "# %s: incomplete, not rendered\n", e.ID)
+			continue
+		}
+		table, err := e.Run(eng.Runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "# %s: render failed: %v\n", e.ID, err)
+			continue
+		}
+		fmt.Printf("# %s — %s (completed before interrupt)\n", e.ID, e.Title)
+		table.Render(os.Stdout)
+		fmt.Println()
 	}
 }
 
@@ -144,14 +262,19 @@ func writeEngineMetrics(path string, es experiment.EngineStats, scale string, pa
 		Parallel        int     `json:"parallel"`
 		ElapsedSeconds  float64 `json:"elapsed_seconds"`
 		JobsRun         int     `json:"jobs_run"`
+		JobsReplayed    int     `json:"jobs_replayed"`
+		JobsFailed      int     `json:"jobs_failed"`
+		JobsSkipped     int     `json:"jobs_skipped"`
 		JobWallSeconds  float64 `json:"job_wall_seconds"`
 		SimCycles       uint64  `json:"sim_cycles"`
 		SimInstructions uint64  `json:"sim_instructions"`
 		CyclesPerSec    float64 `json:"cycles_per_second"`
 	}{
 		Scale: scale, Parallel: parallel, ElapsedSeconds: elapsed.Seconds(),
-		JobsRun: es.JobsRun, JobWallSeconds: es.JobWall.Seconds(),
-		SimCycles: es.SimCycles, SimInstructions: es.SimInstructions,
+		JobsRun: es.JobsRun, JobsReplayed: es.JobsReplayed,
+		JobsFailed: es.JobsFailed, JobsSkipped: es.JobsSkipped,
+		JobWallSeconds: es.JobWall.Seconds(),
+		SimCycles:      es.SimCycles, SimInstructions: es.SimInstructions,
 		CyclesPerSec: es.CyclesPerSecond(),
 	}
 	f, err := os.Create(path)
@@ -165,4 +288,33 @@ func writeEngineMetrics(path string, es experiment.EngineStats, scale string, pa
 		return err
 	}
 	return f.Close()
+}
+
+// errorLabels extracts the per-job "label: cause" first lines from a
+// joined execute error, for compact stderr reporting.
+func errorLabels(err error) []string {
+	var lines []string
+	for _, e := range flattenJoined(err) {
+		msg := e.Error()
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		lines = append(lines, msg)
+	}
+	return lines
+}
+
+// flattenJoined unwraps errors.Join trees into a flat list.
+func flattenJoined(err error) []error {
+	if err == nil {
+		return nil
+	}
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		var out []error
+		for _, e := range u.Unwrap() {
+			out = append(out, flattenJoined(e)...)
+		}
+		return out
+	}
+	return []error{err}
 }

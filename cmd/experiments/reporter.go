@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"github.com/csalt-sim/csalt/internal/experiment"
@@ -22,13 +23,26 @@ func newReporter(out io.Writer, quiet bool) *reporter {
 }
 
 // progress rewrites the status line after each completed job, including
-// the job's simulated-cycle throughput from the engine's counters.
+// the job's simulated-cycle throughput from the engine's counters. Job
+// failures print as durable FAIL lines (never overwritten by the status
+// line), even under -quiet: a sweep that ends in exit 1 must say why.
 func (r *reporter) progress(p experiment.Progress) {
+	if p.Err != nil {
+		r.clear()
+		msg := p.Err.Error()
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] // headline only; full stacks land in the final error dump
+		}
+		fmt.Fprintf(r.out, "FAIL [%d/%d] %s: %s\n", p.Done, p.Total, p.Label, msg)
+	}
 	if r.quiet {
 		return
 	}
 	r.live = true
 	line := fmt.Sprintf("[%d/%d] %s %s", p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond))
+	if p.Failed > 0 {
+		line += fmt.Sprintf(" [%d failed]", p.Failed)
+	}
 	if mcps := p.Throughput() / 1e6; mcps > 0 {
 		line += fmt.Sprintf(" %.1f Mcyc/s", mcps)
 	}
@@ -51,6 +65,10 @@ func (r *reporter) clear() {
 func (r *reporter) summary(w io.Writer, scale string, parallel int, elapsed time.Duration, runs int, es experiment.EngineStats) {
 	fmt.Fprintf(w, "# scale=%s parallel=%d elapsed=%s simulations=%d\n",
 		scale, parallel, elapsed.Round(time.Millisecond), runs)
+	if es.JobsReplayed > 0 || es.JobsFailed > 0 || es.JobsSkipped > 0 {
+		fmt.Fprintf(w, "# outcomes: %d run, %d replayed, %d failed, %d skipped\n",
+			es.JobsRun, es.JobsReplayed, es.JobsFailed, es.JobsSkipped)
+	}
 	if es.JobsRun > 0 {
 		fmt.Fprintf(w, "# throughput: %.1f Mcycles/s, %.1f Minstr/s (per-job wall %s)\n",
 			es.CyclesPerSecond()/1e6,

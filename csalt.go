@@ -19,8 +19,11 @@
 package csalt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	runtimedebug "runtime/debug"
 	"sync"
 
 	"github.com/csalt-sim/csalt/internal/cache"
@@ -82,26 +85,77 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // Run builds the system described by cfg and plays its workload to
 // completion.
 func Run(cfg Config) (*Results, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every few hundred steps and returns ctx.Err() (wrapped) once
+// cancelled, so SIGINT-driven shutdowns stop a long run promptly.
+func RunContext(ctx context.Context, cfg Config) (*Results, error) {
+	return runOne(ctx, cfg, 0)
+}
+
+// ManyOpts configures RunManyContext beyond the per-run Config: knobs
+// that shape execution without affecting any measurement, so they stay
+// out of Config (which keys memo caches and checkpoint stores).
+type ManyOpts struct {
+	// Parallel bounds the worker pool; <= 0 selects one worker per CPU.
+	Parallel int
+	// StallLimitCycles arms each run's forward-progress watchdog: a run
+	// in which no instruction retires for this many simulated cycles
+	// fails with a diagnostic queue dump instead of hanging the sweep.
+	// Zero disables the guard.
+	StallLimitCycles uint64
+}
+
+// runOne executes a single configuration with panic isolation: a panic
+// inside the simulator surfaces as this run's error, not a process crash.
+func runOne(ctx context.Context, cfg Config, stallLimit uint64) (res *Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := runtimedebug.Stack()
+			if len(stack) > 4<<10 {
+				stack = stack[:4<<10]
+			}
+			err = fmt.Errorf("csalt: simulation panicked: %v\n%s", p, stack)
+		}
+	}()
 	s, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	if stallLimit > 0 {
+		s.SetStallLimit(stallLimit)
+	}
+	return s.RunContext(ctx)
 }
 
 // RunMany executes several independent configurations across a bounded
-// worker pool and returns their results in input order. Each simulation
-// owns its entire world, so runs neither share state nor perturb each
-// other; results are deterministic per configuration regardless of
-// parallelism. parallel <= 0 selects one worker per CPU. The first
-// simulation error is returned (with its input index) after in-flight
-// runs drain; configurations not yet started are then skipped and their
-// result slots left nil.
+// worker pool and returns their results in input order; see
+// RunManyContext for the failure semantics.
 func RunMany(cfgs []Config, parallel int) ([]*Results, error) {
+	return RunManyContext(context.Background(), cfgs, ManyOpts{Parallel: parallel})
+}
+
+// RunManyContext executes several independent configurations across a
+// bounded worker pool and returns their results in input order. Each
+// simulation owns its entire world, so runs neither share state nor
+// perturb each other; results are deterministic per configuration
+// regardless of parallelism.
+//
+// Failures are isolated and aggregated: a panicking or failing
+// configuration nils only its own result slot, every other configuration
+// still runs, and the returned error joins one wrapped error per failure
+// (each naming the configuration index and mix). Cancelling ctx stops
+// in-flight simulations promptly; configurations not yet started are
+// skipped with their slots left nil, and the cancellation is included in
+// the joined error.
+func RunManyContext(ctx context.Context, cfgs []Config, o ManyOpts) ([]*Results, error) {
 	results := make([]*Results, len(cfgs))
 	if len(cfgs) == 0 {
 		return results, nil
 	}
+	parallel := o.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -109,9 +163,9 @@ func RunMany(cfgs []Config, parallel int) ([]*Results, error) {
 		parallel = len(cfgs)
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
 	)
 	idx := make(chan int)
 	for w := 0; w < parallel; w++ {
@@ -119,18 +173,16 @@ func RunMany(cfgs []Config, parallel int) ([]*Results, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if failed {
+				if ctx.Err() != nil {
 					continue
 				}
-				res, err := Run(cfgs[i])
+				res, err := runOne(ctx, cfgs[i], o.StallLimitCycles)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("csalt: configuration %d: %w", i, err)
+					if errors.Is(err, context.Canceled) {
+						continue // interrupted, not failed
 					}
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("csalt: configuration %d (%s): %w", i, cfgs[i].Mix.ID, err))
 					mu.Unlock()
 					continue
 				}
@@ -143,7 +195,10 @@ func RunMany(cfgs []Config, parallel int) ([]*Results, error) {
 	}
 	close(idx)
 	wg.Wait()
-	return results, firstErr
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("csalt: sweep interrupted: %w", err))
+	}
+	return results, errors.Join(errs...)
 }
 
 // Mixes returns the paper's ten workload compositions in x-axis order.

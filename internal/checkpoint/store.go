@@ -1,0 +1,227 @@
+// Package checkpoint is the durable result store behind -results-dir /
+// -resume: an append-only JSONL file that records each completed
+// (configuration, result) pair as soon as it finishes, so a killed sweep
+// restarts from where it died instead of re-simulating everything.
+//
+// Durability model: every record is marshalled to one self-contained line
+// and handed to the kernel in a single Write call, then fsynced, so a
+// crash can lose at most the record being appended — never corrupt an
+// earlier one. A torn trailing line (the crash case) is detected and
+// ignored on replay. The first line is a schema/version header; a store
+// written by an incompatible simulator version refuses to resume rather
+// than silently mixing result schemas.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Schema identifies the record layout; bump Version whenever the meaning
+// of stored results changes incompatibly (e.g. a Results field is
+// redefined), so stale stores fail loudly instead of resuming wrong data.
+const (
+	Schema  = "csalt-results"
+	Version = 1
+)
+
+// FileName is the store file created inside a results directory.
+const FileName = "results.jsonl"
+
+// header is the first line of every store file.
+type header struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+}
+
+// record is one appended line after the header.
+type record struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Store is an append-only key → JSON-value checkpoint log. It is safe for
+// concurrent use: Put serializes appends under a mutex and Lookup reads an
+// in-memory index replayed at Open.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+	loaded  int // records replayed from disk at Open
+}
+
+// KeyOf derives the stable identity of a value: the hex SHA-256 of its
+// canonical JSON encoding. Configurations marshal with a fixed field
+// order, so identical configs always map to identical keys across
+// processes.
+func KeyOf(v interface{}) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: keying value: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Open opens (or creates) the store file inside dir. With resume true an
+// existing file is replayed into the index; with resume false any existing
+// file is truncated so the sweep starts from a clean log. A schema or
+// version mismatch on resume is an error.
+func Open(dir string, resume bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating results dir: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+
+	flags := os.O_RDWR | os.O_CREATE
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening store: %w", err)
+	}
+	s := &Store{f: f, entries: make(map[string]json.RawMessage)}
+
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay loads the header and every intact record; a torn trailing line is
+// truncated away so subsequent appends start on a clean boundary.
+func (s *Store) replay() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		// Fresh store: write the header as the first line.
+		return s.writeLine(header{Schema: Schema, Version: Version})
+	}
+
+	sc := bufio.NewScanner(s.f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return fmt.Errorf("checkpoint: store has no header line")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return fmt.Errorf("checkpoint: unreadable store header: %w", err)
+	}
+	if h.Schema != Schema || h.Version != Version {
+		return fmt.Errorf("checkpoint: store is %s/v%d, this binary writes %s/v%d — use a fresh -results-dir",
+			h.Schema, h.Version, Schema, Version)
+	}
+
+	good := int64(len(sc.Bytes()) + 1) // header line + newline
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+			// A torn or garbage line: everything before it is intact;
+			// drop it and anything after.
+			break
+		}
+		s.entries[r.Key] = append(json.RawMessage(nil), r.Value...)
+		s.loaded++
+		good += int64(len(line) + 1)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	if err := s.f.Truncate(good); err != nil {
+		return fmt.Errorf("checkpoint: trimming torn record: %w", err)
+	}
+	if _, err := s.f.Seek(0, 2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeLine appends v as one JSON line in a single Write call and syncs.
+func (s *Store) writeLine(v interface{}) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil { // Encode appends the newline
+		return fmt.Errorf("checkpoint: encoding record: %w", err)
+	}
+	if _, err := s.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("checkpoint: appending record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing store: %w", err)
+	}
+	return nil
+}
+
+// Put durably appends one completed result under key. Re-putting a key
+// overwrites the index entry (last record wins on replay, matching
+// append-only semantics).
+func (s *Store) Put(key string, v interface{}) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding value: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeLine(record{Key: key, Value: raw}); err != nil {
+		return err
+	}
+	s.entries[key] = raw
+	return nil
+}
+
+// Lookup decodes the stored value for key into out, reporting whether the
+// key was present.
+func (s *Store) Lookup(key string, out interface{}) (bool, error) {
+	s.mu.Lock()
+	raw, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("checkpoint: decoding stored value: %w", err)
+	}
+	return true, nil
+}
+
+// Len returns the number of distinct keys currently in the index.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Replayed returns how many intact records were loaded from disk at Open —
+// the "resumed N completed jobs" number a sweep reports.
+func (s *Store) Replayed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded
+}
+
+// Close syncs and closes the underlying file; the store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -1,0 +1,213 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Value float64
+}
+
+func TestPutLookupRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	want := payload{Name: "fig3", Value: 0.625}
+	key, err := KeyOf(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err := s.Lookup(key, &got)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %v, %v; want hit", ok, err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v want %+v", got, want)
+	}
+	if ok, _ := s.Lookup("no-such-key", &got); ok {
+		t.Error("Lookup hit on absent key")
+	}
+}
+
+func TestResumeReplaysEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 5)
+	for i := range keys {
+		p := payload{Name: fmt.Sprint("job", i), Value: float64(i)}
+		keys[i], _ = KeyOf(p)
+		if err := s.Put(keys[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Replayed() != len(keys) || r.Len() != len(keys) {
+		t.Fatalf("replayed %d/%d entries, want %d", r.Replayed(), r.Len(), len(keys))
+	}
+	for i, k := range keys {
+		var p payload
+		if ok, err := r.Lookup(k, &p); !ok || err != nil {
+			t.Fatalf("entry %d lost across resume: %v %v", i, ok, err)
+		}
+		if p.Value != float64(i) {
+			t.Errorf("entry %d decoded to %+v", i, p)
+		}
+	}
+}
+
+func TestOpenWithoutResumeTruncates(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, false)
+	k, _ := KeyOf("x")
+	if err := s.Put(k, "x"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	fresh, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.Len() != 0 || fresh.Replayed() != 0 {
+		t.Errorf("non-resume open kept %d entries", fresh.Len())
+	}
+}
+
+// TestTornTrailingRecord simulates a crash mid-append: the last line is
+// incomplete, and a resume must keep every intact record, drop the torn
+// one, and leave the file appendable.
+func TestTornTrailingRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, false)
+	k1, _ := KeyOf(1)
+	k2, _ := KeyOf(2)
+	if err := s.Put(k1, payload{Name: "whole", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, payload{Name: "doomed", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the final record in half.
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := strings.TrimSuffix(string(data), "\n")
+	cut := strings.LastIndexByte(trimmed, '\n') + 1 + 10 // 10 bytes into the last record
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, true)
+	if err != nil {
+		t.Fatalf("resume over torn record: %v", err)
+	}
+	defer r.Close()
+	if r.Replayed() != 1 {
+		t.Fatalf("replayed %d records, want 1 (torn one dropped)", r.Replayed())
+	}
+	var p payload
+	if ok, _ := r.Lookup(k1, &p); !ok || p.Name != "whole" {
+		t.Errorf("intact record lost: %v %+v", p, p)
+	}
+	if ok, _ := r.Lookup(k2, &p); ok {
+		t.Error("torn record resurrected")
+	}
+	// The file must be cleanly appendable after the trim.
+	if err := r.Put(k2, payload{Name: "rewritten", Value: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := r.Lookup(k2, &p); !ok || p.Name != "rewritten" {
+		t.Errorf("append after trim: %+v", p)
+	}
+}
+
+func TestVersionMismatchRefusesResume(t *testing.T) {
+	dir := t.TempDir()
+	hdr, _ := json.Marshal(header{Schema: Schema, Version: Version + 1})
+	if err := os.WriteFile(filepath.Join(dir, FileName), append(hdr, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, true); err == nil {
+		t.Fatal("resumed a store with a future schema version")
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, _ := KeyOf(i)
+			if err := s.Put(k, payload{Name: fmt.Sprint(i), Value: float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	r, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != n {
+		t.Errorf("%d entries survived %d concurrent puts", r.Len(), n)
+	}
+}
+
+func TestKeyOfIsStable(t *testing.T) {
+	a, err := KeyOf(payload{Name: "x", Value: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := KeyOf(payload{Name: "x", Value: 1.5})
+	c, _ := KeyOf(payload{Name: "x", Value: 1.5000001})
+	if a != b {
+		t.Error("identical values keyed differently")
+	}
+	if a == c {
+		t.Error("distinct values collided")
+	}
+	if len(a) != 64 {
+		t.Errorf("key %q is not hex sha-256", a)
+	}
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,16 +38,23 @@ func (j Job) Label() string {
 }
 
 // Progress describes one completed job; the Engine reports it after every
-// job finishes so callers can render counters, throughput and ETA lines.
+// job finishes — success or failure — so callers can render counters,
+// throughput, ETA and failure lines.
 type Progress struct {
 	Done    int           // jobs completed so far (including this one)
 	Total   int           // jobs in this Execute call
+	Failed  int           // jobs failed so far (included in Done)
 	Label   string        // the completed job's Label
 	Elapsed time.Duration // wall time of this job alone
 	Since   time.Duration // wall time since Execute started
 
+	// Err is the job's failure, nil on success. Cancelled (skipped) jobs
+	// produce no progress event at all.
+	Err error
+
 	// Throughput counters of the completed job's simulation (measured
-	// phase). Zero when the job was a memo-cache hit.
+	// phase). Zero when the job was a memo-cache hit, a checkpoint-store
+	// replay, or a failure.
 	Cycles       uint64
 	Instructions uint64
 }
@@ -59,11 +68,14 @@ func (p Progress) Throughput() float64 {
 	return float64(p.Cycles) / p.Elapsed.Seconds()
 }
 
-// EngineStats aggregates per-job throughput counters across an engine's
-// lifetime; cmd/experiments exports them via -metrics-out.
+// EngineStats aggregates per-job throughput and outcome counters across an
+// engine's lifetime; cmd/experiments exports them via -metrics-out.
 type EngineStats struct {
-	JobsRun         int           // jobs that actually simulated (not memo hits)
-	JobWall         time.Duration // summed wall time of those jobs
+	JobsRun         int           // jobs that actually simulated (not memo hits or replays)
+	JobsReplayed    int           // jobs served from the checkpoint store (-resume)
+	JobsFailed      int           // jobs that ended in a (non-cancellation) error
+	JobsSkipped     int           // jobs never run: after a failure (fail-fast) or a cancellation
+	JobWall         time.Duration // summed wall time of simulated jobs
 	SimCycles       uint64        // summed measured cycles across jobs
 	SimInstructions uint64        // summed measured instructions across jobs
 }
@@ -100,9 +112,22 @@ type Engine struct {
 	// simulator is single-goroutine per system, so there is never a reason
 	// to exceed one worker per CPU.
 	Workers int
-	// Progress, when non-nil, is invoked after each job completes. Calls
-	// are serialized by the engine; the callback needs no locking.
+	// Progress, when non-nil, is invoked after each job completes (success
+	// or failure). Calls are serialized by the engine; the callback needs
+	// no locking.
 	Progress func(Progress)
+	// KeepGoing keeps the sweep running past job failures: every job is
+	// attempted, failures are aggregated into the returned error, and
+	// table renderers mark cells derived from failed runs as ERR (the
+	// engine mirrors the flag onto its Runner at Execute time). The
+	// default fail-fast mode stops dispatching after the first failure and
+	// counts the rest as skipped.
+	KeepGoing bool
+	// JobTimeout, when positive, bounds each job's wall-clock time: a job
+	// exceeding it is cancelled and counted as failed (not skipped), with
+	// an error naming the deadline. The engine-level counterpart of the
+	// in-simulator stall watchdog.
+	JobTimeout time.Duration
 
 	statsMu sync.Mutex
 	stats   EngineStats
@@ -160,18 +185,34 @@ func (e *Engine) Jobs(exps ...Experiment) []Job {
 	return out
 }
 
-// Execute runs the jobs across the worker pool, filling the runner's memo
-// cache. The first simulation error is recorded and returned once in-flight
-// jobs drain; jobs not yet started are skipped after an error.
+// Execute runs the jobs across the worker pool with a background context;
+// see ExecuteContext.
 func (e *Engine) Execute(jobs []Job) error {
+	return e.ExecuteContext(context.Background(), jobs)
+}
+
+// ExecuteContext runs the jobs across the worker pool, filling the
+// runner's memo cache. Every job failure is collected (one wrapped error
+// per failed job, joined with errors.Join) rather than only the first. In
+// the default fail-fast mode, jobs not yet started when the first failure
+// lands are skipped and counted in EngineStats.JobsSkipped; with KeepGoing
+// every job is still attempted. Cancelling ctx stops dispatch promptly:
+// in-flight simulations notice within a few hundred steps, remaining jobs
+// are counted as skipped, and the joined error includes the cancellation.
+// Worker panics are isolated by the runner into per-job failures, so the
+// pool itself never dies.
+func (e *Engine) ExecuteContext(ctx context.Context, jobs []Job) error {
 	if len(jobs) == 0 {
 		return nil
 	}
+	// Renderers must mask the same failures the engine tolerates.
+	e.Runner.KeepGoing = e.KeepGoing
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		done     int
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errs   []error
+		done   int
+		failed int
 	)
 	start := time.Now()
 	ch := make(chan Job)
@@ -181,73 +222,144 @@ func (e *Engine) Execute(jobs []Job) error {
 			defer wg.Done()
 			for j := range ch {
 				mu.Lock()
-				failed := firstErr != nil
+				abort := (len(errs) > 0 && !e.KeepGoing) || ctx.Err() != nil
 				mu.Unlock()
-				if failed {
+				if abort {
+					e.statsMu.Lock()
+					e.stats.JobsSkipped++
+					e.statsMu.Unlock()
 					continue
 				}
-				cached := e.Runner.Cached(j.Config)
-				t0 := time.Now()
-				res, err := e.Runner.Run(j.Config)
-				elapsed := time.Since(t0)
-				var cycles, instrs uint64
-				if err == nil && !cached {
-					cycles, instrs = res.Cycles, res.Instructions
-					e.statsMu.Lock()
-					e.stats.JobsRun++
-					e.stats.JobWall += elapsed
-					e.stats.SimCycles += cycles
-					e.stats.SimInstructions += instrs
-					e.statsMu.Unlock()
-				}
-				mu.Lock()
-				done++
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("%s: %w", j.Label(), err)
-					}
-				} else if e.Progress != nil {
-					e.Progress(Progress{
-						Done: done, Total: len(jobs), Label: j.Label(),
-						Elapsed: elapsed, Since: time.Since(start),
-						Cycles: cycles, Instructions: instrs,
-					})
-				}
-				mu.Unlock()
+				e.runJob(ctx, j, len(jobs), start, &mu, &errs, &done, &failed)
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+dispatch:
+	for i, j := range jobs {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			e.statsMu.Lock()
+			e.stats.JobsSkipped += len(jobs) - i
+			e.statsMu.Unlock()
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
-	return firstErr
+	if err := ctx.Err(); err != nil {
+		e.statsMu.Lock()
+		skipped := e.stats.JobsSkipped
+		e.statsMu.Unlock()
+		errs = append(errs, fmt.Errorf("sweep interrupted with %d of %d jobs done (%d skipped): %w",
+			done, len(jobs), skipped, err))
+	}
+	return errors.Join(errs...)
+}
+
+// runJob executes one job, classifying its outcome into the shared
+// progress/error state: success, failure (aggregated), or cancellation
+// (skipped, no progress event).
+func (e *Engine) runJob(ctx context.Context, j Job, total int, start time.Time,
+	mu *sync.Mutex, errs *[]error, done, failed *int) {
+	jobCtx, cancel := ctx, func() {}
+	if e.JobTimeout > 0 {
+		jobCtx, cancel = context.WithTimeout(ctx, e.JobTimeout)
+	}
+	cached := e.Runner.Cached(j.Config)
+	t0 := time.Now()
+	res, replayed, err := e.Runner.run(jobCtx, j.Config)
+	timedOut := err != nil && jobCtx.Err() != nil && ctx.Err() == nil
+	cancel()
+	elapsed := time.Since(t0)
+
+	if err != nil && isCancellation(err) && !timedOut {
+		// The parent context was cancelled: the job didn't run and didn't
+		// fail. It counts as skipped; the dispatcher adds the tail.
+		e.statsMu.Lock()
+		e.stats.JobsSkipped++
+		e.statsMu.Unlock()
+		return
+	}
+
+	var cycles, instrs uint64
+	e.statsMu.Lock()
+	switch {
+	case err != nil:
+		e.stats.JobsFailed++
+	case replayed:
+		e.stats.JobsReplayed++
+	case !cached:
+		cycles, instrs = res.Cycles, res.Instructions
+		e.stats.JobsRun++
+		e.stats.JobWall += elapsed
+		e.stats.SimCycles += cycles
+		e.stats.SimInstructions += instrs
+	}
+	e.statsMu.Unlock()
+
+	mu.Lock()
+	defer mu.Unlock()
+	*done++
+	if err != nil {
+		*failed++
+		if timedOut {
+			err = fmt.Errorf("job exceeded %v wall-clock deadline: %w", e.JobTimeout, err)
+		}
+		*errs = append(*errs, fmt.Errorf("%s: %w", j.Label(), err))
+	}
+	if e.Progress != nil {
+		e.Progress(Progress{
+			Done: *done, Total: total, Failed: *failed, Label: j.Label(),
+			Elapsed: elapsed, Since: time.Since(start), Err: err,
+			Cycles: cycles, Instructions: instrs,
+		})
+	}
 }
 
 // Run executes one experiment end to end: fan its jobs out across the
-// pool, then render its table sequentially from the memo cache.
+// pool, then render its table sequentially from the memo cache. Under
+// KeepGoing a table may be returned alongside a non-nil joined error, with
+// cells derived from failed jobs marked ERR.
 func (e *Engine) Run(exp Experiment) (*stats.Table, error) {
-	if err := e.Execute(e.Jobs(exp)); err != nil {
-		return nil, err
+	return e.RunContext(context.Background(), exp)
+}
+
+// RunContext is Run with cooperative cancellation.
+func (e *Engine) RunContext(ctx context.Context, exp Experiment) (*stats.Table, error) {
+	execErr := e.ExecuteContext(ctx, e.Jobs(exp))
+	if execErr != nil && (!e.KeepGoing || ctx.Err() != nil) {
+		return nil, execErr
 	}
-	return exp.Run(e.Runner)
+	t, err := exp.Run(e.Runner)
+	if err != nil {
+		return nil, errors.Join(execErr, err)
+	}
+	return t, execErr
 }
 
 // RunAll executes several experiments as one shared job pool (so baselines
 // common to multiple figures are simulated once), then renders every table
-// in order. Tables are returned parallel to exps.
+// in order. Tables are returned parallel to exps. Under KeepGoing, tables
+// render with ERR cells for failed jobs and the joined job errors are
+// returned alongside them.
 func (e *Engine) RunAll(exps []Experiment) ([]*stats.Table, error) {
-	if err := e.Execute(e.Jobs(exps...)); err != nil {
-		return nil, err
+	return e.RunAllContext(context.Background(), exps)
+}
+
+// RunAllContext is RunAll with cooperative cancellation.
+func (e *Engine) RunAllContext(ctx context.Context, exps []Experiment) ([]*stats.Table, error) {
+	execErr := e.ExecuteContext(ctx, e.Jobs(exps...))
+	if execErr != nil && (!e.KeepGoing || ctx.Err() != nil) {
+		return nil, execErr
 	}
 	tables := make([]*stats.Table, len(exps))
 	for i, ex := range exps {
 		t, err := ex.Run(e.Runner)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ex.ID, err)
+			return nil, errors.Join(execErr, fmt.Errorf("%s: %w", ex.ID, err))
 		}
 		tables[i] = t
 	}
-	return tables, nil
+	return tables, execErr
 }

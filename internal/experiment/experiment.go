@@ -13,10 +13,15 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/sim"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
@@ -106,16 +111,93 @@ type Runner struct {
 	// identical (the observability layer is passive).
 	Observe func(*sim.System)
 
-	mu    sync.Mutex
-	cache map[sim.Config]*runEntry
-	runs  int
+	// Store, when non-nil, makes results durable: every completed
+	// simulation is appended to the checkpoint log, and configurations
+	// already in the log are replayed instead of re-simulated — the
+	// -results-dir / -resume machinery. Results replayed from the store
+	// are byte-identical to fresh ones (JSON float round-trips exactly),
+	// so resumed sweeps render identical tables.
+	Store *checkpoint.Store
+
+	// StallLimit arms each simulation's forward-progress watchdog (see
+	// sim.System.SetStallLimit); 0 leaves it disabled.
+	StallLimit uint64
+
+	// KeepGoing masks simulation failures on the public Run/RunContext
+	// path: a failed configuration yields sim.PoisonedResults() (every
+	// float NaN, rendered as ERR by stats.Table) instead of an error, so
+	// table renderers emit their remaining healthy cells. Failures stay
+	// visible through Failures(); pure cancellations are never masked.
+	KeepGoing bool
+
+	// MaxRetries bounds retry-with-backoff for transient job failures
+	// (errors satisfying IsTransient). The default 0 disables retries;
+	// deterministic simulation errors are never retried regardless.
+	MaxRetries int
+	// RetryBackoff is the base delay before the first retry, doubled each
+	// further attempt (capped only by MaxRetries). Zero means retry
+	// immediately.
+	RetryBackoff time.Duration
+
+	// simulateHook, when non-nil, replaces the actual simulation — the
+	// fault-injection point for the engine's panic/cancel/retry tests.
+	simulateHook func(ctx context.Context, cfg sim.Config) (*sim.Results, error)
+
+	mu       sync.Mutex
+	cache    map[sim.Config]*runEntry
+	failed   map[sim.Config]error
+	runs     int
+	replayed int
+}
+
+// PanicError is a worker panic converted into a per-job error: the
+// panicking configuration fails, the worker and every other job survive.
+type PanicError struct {
+	Value interface{} // the recovered panic value
+	Stack []byte      // the goroutine stack at recovery, trimmed
+}
+
+// Error renders the panic headline plus the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// TransientError marks a failure as transient: the runner's bounded
+// retry-with-backoff applies only to errors wrapped in (or implementing
+// the same Transient() contract as) this type. Simulator determinism means
+// genuine model errors never qualify; the class exists for environmental
+// failures (I/O around the checkpoint store, future remote backends).
+type TransientError struct{ Err error }
+
+// Error reports the wrapped failure.
+func (e *TransientError) Error() string { return "transient: " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// Transient reports retryability; satisfies the IsTransient contract.
+func (e *TransientError) Transient() bool { return true }
+
+// IsTransient reports whether err is marked retryable anywhere along its
+// Unwrap chain.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// isCancellation reports whether err is a pure context cancellation —
+// the one failure class that is never cached, never counted as a job
+// failure, and never masked by KeepGoing (the job simply didn't run).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled)
 }
 
 // runEntry is one memo slot; done is closed once res/err are final.
 type runEntry struct {
-	done chan struct{}
-	res  *sim.Results
-	err  error
+	done     chan struct{}
+	res      *sim.Results
+	err      error
+	replayed bool // served from the checkpoint store, not simulated
 }
 
 // NewRunner builds a Runner at the given scale.
@@ -125,41 +207,173 @@ func NewRunner(s Scale) *Runner {
 
 // Run executes (or recalls) one configuration.
 func (r *Runner) Run(cfg sim.Config) (*sim.Results, error) {
+	return r.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation; under KeepGoing it
+// masks (non-cancellation) failures into poisoned results.
+func (r *Runner) RunContext(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
+	res, _, err := r.run(ctx, cfg)
+	if err != nil && r.KeepGoing && !isCancellation(err) {
+		return sim.PoisonedResults(), nil
+	}
+	return res, err
+}
+
+// run is the unmasked execution path (the Engine uses it directly so job
+// failures stay visible for aggregation even under KeepGoing). Concurrent
+// calls with equal configs singleflight through the memo cache; cancelled
+// attempts are evicted so a later call re-simulates instead of replaying
+// the cancellation.
+func (r *Runner) run(ctx context.Context, cfg sim.Config) (*sim.Results, bool, error) {
 	r.mu.Lock()
 	if e, ok := r.cache[cfg]; ok {
 		r.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("experiment: waiting on shared run: %w", ctx.Err())
+		}
+		return e.res, e.replayed, e.err
 	}
 	e := &runEntry{done: make(chan struct{})}
 	r.cache[cfg] = e
-	r.runs++
 	r.mu.Unlock()
 
-	e.res, e.err = r.simulate(cfg)
+	e.res, e.replayed, e.err = r.simulate(ctx, cfg)
+	r.mu.Lock()
+	if e.err != nil {
+		if isCancellation(e.err) {
+			// The job didn't fail — it was interrupted. Evict the entry so
+			// a resume within this process re-simulates it.
+			delete(r.cache, cfg)
+		} else {
+			if r.failed == nil {
+				r.failed = make(map[sim.Config]error)
+			}
+			r.failed[cfg] = e.err
+		}
+	}
+	r.mu.Unlock()
 	close(e.done)
-	return e.res, e.err
+	return e.res, e.replayed, e.err
 }
 
-// simulate builds and runs one fresh system, attaching the observer hook
-// if one is set.
-func (r *Runner) simulate(cfg sim.Config) (*sim.Results, error) {
+// simulate resolves one configuration: checkpoint-store replay when
+// available, otherwise a fresh simulation with bounded retries for
+// transient failures, persisting the result on success. The bool reports
+// a store replay.
+func (r *Runner) simulate(ctx context.Context, cfg sim.Config) (*sim.Results, bool, error) {
+	var key string
+	if r.Store != nil {
+		k, err := checkpoint.KeyOf(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		key = k
+		var stored sim.Results
+		if ok, err := r.Store.Lookup(key, &stored); err != nil {
+			return nil, false, err
+		} else if ok {
+			r.mu.Lock()
+			r.replayed++
+			r.mu.Unlock()
+			return &stored, true, nil
+		}
+	}
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		var res *sim.Results
+		res, err = r.simulateOnce(ctx, cfg)
+		if err == nil {
+			if r.Store != nil {
+				if perr := r.Store.Put(key, res); perr != nil {
+					return nil, false, perr
+				}
+			}
+			return res, false, nil
+		}
+		if attempt >= r.MaxRetries || !IsTransient(err) || ctx.Err() != nil {
+			break
+		}
+		if r.RetryBackoff > 0 {
+			backoff := r.RetryBackoff << attempt
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, false, fmt.Errorf("experiment: cancelled during retry backoff: %w", ctx.Err())
+			}
+		}
+	}
+	return nil, false, err
+}
+
+// simulateOnce builds and runs one fresh system, attaching the observer
+// hook and watchdog; a panic anywhere inside the simulation is recovered
+// into a *PanicError so one bad job cannot take down its worker (or, with
+// an aggregating engine, the sweep).
+func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: trimStack()}
+		}
+	}()
+	r.mu.Lock()
+	r.runs++
+	r.mu.Unlock()
+	if r.simulateHook != nil {
+		return r.simulateHook(ctx, cfg)
+	}
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if r.StallLimit > 0 {
+		sys.SetStallLimit(r.StallLimit)
+	}
 	if r.Observe != nil {
 		r.Observe(sys)
 	}
-	return sys.Run()
+	return sys.RunContext(ctx)
 }
 
-// NumRuns reports how many actual (non-memoised) simulations have been
-// started, for reporting.
+// trimStack captures the current goroutine stack, truncated to a readable
+// size for error messages.
+func trimStack() []byte {
+	buf := make([]byte, 4<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// NumRuns reports how many actual (non-memoised, non-replayed) simulations
+// have been started, for reporting.
 func (r *Runner) NumRuns() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.runs
+}
+
+// Replayed reports how many configurations were served from the checkpoint
+// store instead of simulating — the "resumed N jobs" number.
+func (r *Runner) Replayed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replayed
+}
+
+// FailureOf returns the recorded (non-cancellation) failure for cfg, if
+// any.
+func (r *Runner) FailureOf(cfg sim.Config) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed[cfg]
+}
+
+// NumFailed reports how many distinct configurations have failed so far.
+func (r *Runner) NumFailed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failed)
 }
 
 // Cached reports whether cfg already has a completed result.

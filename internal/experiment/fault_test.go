@@ -1,0 +1,327 @@
+package experiment
+
+// Fault-injection tests for the robustness layer: panic isolation,
+// cancellation, per-job deadlines, transient retries, keep-going ERR
+// rendering, and kill/resume determinism against the checkpoint store.
+// Faults are injected through the Runner's simulateHook so each test
+// controls exactly which configuration misbehaves and how.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// faultJobs builds n distinct synthetic jobs (configs differing only by
+// seed) — enough structure for the engine without real simulation cost.
+func faultJobs(n int) []Job {
+	base := microScale.BaseConfig()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		cfg := base
+		cfg.Seed = uint64(i + 1)
+		jobs[i] = Job{Config: cfg, Experiments: []string{fmt.Sprintf("job%d", i)}}
+	}
+	return jobs
+}
+
+// okResults returns a minimal healthy result for hook-simulated jobs.
+func okResults() *sim.Results {
+	return &sim.Results{SchemeName: "hook", OrgName: "hook", IPCGeomean: 1, Cycles: 100, Instructions: 100}
+}
+
+func TestWorkerPanicFailsOnlyItsJob(t *testing.T) {
+	jobs := faultJobs(6)
+	bad := jobs[2].Config
+	eng := NewEngine(microScale, 3)
+	eng.KeepGoing = true
+	eng.Runner.simulateHook = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
+		if cfg == bad {
+			panic("injected fault")
+		}
+		return okResults(), nil
+	}
+
+	err := eng.Execute(jobs)
+	if err == nil {
+		t.Fatal("panicking job did not surface an error")
+	}
+	if !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "injected fault") {
+		t.Errorf("error does not describe the panic: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Errorf("error chain lacks *PanicError: %v", err)
+	} else if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	es := eng.Stats()
+	if es.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", es.JobsFailed)
+	}
+	for i, j := range jobs {
+		if i == 2 {
+			continue
+		}
+		if !eng.Runner.Cached(j.Config) {
+			t.Errorf("job %d did not complete despite keep-going", i)
+		}
+	}
+}
+
+func TestFailFastSkipsRemainingJobs(t *testing.T) {
+	jobs := faultJobs(8)
+	bad := jobs[0].Config
+	eng := NewEngine(microScale, 1) // sequential: the failure lands first
+	eng.Runner.simulateHook = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
+		if cfg == bad {
+			return nil, errors.New("boom")
+		}
+		return okResults(), nil
+	}
+	if err := eng.Execute(jobs); err == nil {
+		t.Fatal("failure not reported")
+	}
+	es := eng.Stats()
+	if es.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", es.JobsFailed)
+	}
+	if es.JobsSkipped != len(jobs)-1 {
+		t.Errorf("JobsSkipped = %d, want %d", es.JobsSkipped, len(jobs)-1)
+	}
+}
+
+func TestContextCancelMidSweep(t *testing.T) {
+	jobs := faultJobs(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	eng := NewEngine(microScale, 2)
+	eng.Runner.simulateHook = func(hctx context.Context, _ sim.Config) (*sim.Results, error) {
+		if started.Add(1) == 2 {
+			cancel() // pull the plug while jobs are in flight
+		}
+		select {
+		case <-hctx.Done():
+			return nil, fmt.Errorf("hook: %w", hctx.Err())
+		case <-time.After(5 * time.Millisecond):
+			return okResults(), nil
+		}
+	}
+
+	err := eng.ExecuteContext(ctx, jobs)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("error does not mention the interruption: %v", err)
+	}
+	es := eng.Stats()
+	if es.JobsSkipped == 0 {
+		t.Error("no jobs counted as skipped after mid-sweep cancel")
+	}
+	if es.JobsFailed != 0 {
+		t.Errorf("cancellation misclassified as %d job failures", es.JobsFailed)
+	}
+}
+
+func TestJobTimeoutFailsOverrunningJob(t *testing.T) {
+	jobs := faultJobs(3)
+	slow := jobs[1].Config
+	eng := NewEngine(microScale, 1)
+	eng.KeepGoing = true
+	eng.JobTimeout = 20 * time.Millisecond
+	eng.Runner.simulateHook = func(hctx context.Context, cfg sim.Config) (*sim.Results, error) {
+		if cfg == slow {
+			<-hctx.Done() // wedge until the per-job deadline fires
+			return nil, fmt.Errorf("hook: %w", hctx.Err())
+		}
+		return okResults(), nil
+	}
+
+	err := eng.Execute(jobs)
+	if err == nil {
+		t.Fatal("overrunning job not reported")
+	}
+	if !strings.Contains(err.Error(), "wall-clock deadline") {
+		t.Errorf("error does not name the deadline: %v", err)
+	}
+	es := eng.Stats()
+	if es.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", es.JobsFailed)
+	}
+	if es.JobsSkipped != 0 {
+		t.Errorf("timeout misclassified as skip (JobsSkipped = %d)", es.JobsSkipped)
+	}
+}
+
+func TestTransientRetrySucceeds(t *testing.T) {
+	var calls atomic.Int32
+	r := NewRunner(microScale)
+	r.MaxRetries = 2
+	r.RetryBackoff = time.Millisecond
+	r.simulateHook = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
+		if calls.Add(1) <= 2 {
+			return nil, &TransientError{Err: errors.New("flaky backend")}
+		}
+		return okResults(), nil
+	}
+	res, err := r.Run(microScale.BaseConfig())
+	if err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if res == nil || calls.Load() != 3 {
+		t.Errorf("want 3 attempts (2 transient failures + success), got %d", calls.Load())
+	}
+}
+
+func TestDeterministicErrorNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	r := NewRunner(microScale)
+	r.MaxRetries = 3
+	r.simulateHook = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
+		calls.Add(1)
+		return nil, errors.New("deterministic model error")
+	}
+	if _, err := r.Run(microScale.BaseConfig()); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("non-transient error retried %d times", calls.Load()-1)
+	}
+}
+
+// fig3Table runs fig3 at micro scale through an engine and returns the
+// rendered table string.
+func fig3Table(t *testing.T, eng *Engine) string {
+	t.Helper()
+	exp, ok := ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	table, err := eng.Run(exp)
+	if err != nil {
+		t.Fatalf("fig3: %v", err)
+	}
+	return table.String()
+}
+
+func TestKillResumeByteIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-sweep resume test")
+	}
+	exp, ok := ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+
+	// Reference: one uninterrupted sweep.
+	ref := NewEngine(microScale, 2)
+	golden := fig3Table(t, ref)
+
+	// Interrupted: cancel after the first couple of jobs land, with every
+	// completed result persisted to the store.
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	first := NewEngine(microScale, 1) // sequential: deterministic cut point
+	first.Runner.Store = store
+	first.Progress = func(p Progress) {
+		if p.Done == 2 {
+			cancel()
+		}
+	}
+	execErr := first.ExecuteContext(ctx, first.Jobs(exp))
+	if execErr == nil {
+		t.Fatal("interrupted sweep reported success")
+	}
+	durable := store.Len()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if durable == 0 {
+		t.Fatal("no results persisted before the kill")
+	}
+	total := len(first.Jobs(exp))
+	if durable >= total {
+		t.Fatalf("kill landed too late: %d of %d jobs persisted", durable, total)
+	}
+
+	// Resume: a fresh engine (fresh process stand-in) over the same store.
+	store2, err := checkpoint.Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Replayed() != durable {
+		t.Fatalf("store replayed %d records, want %d", store2.Replayed(), durable)
+	}
+	resumed := NewEngine(microScale, 2)
+	resumed.Runner.Store = store2
+	got := fig3Table(t, resumed)
+
+	if got != golden {
+		t.Errorf("resumed table differs from uninterrupted run:\n--- golden ---\n%s--- resumed ---\n%s", golden, got)
+	}
+	if n := resumed.Runner.Replayed(); n != durable {
+		t.Errorf("resumed sweep replayed %d jobs, want %d", n, durable)
+	}
+	if n := resumed.Runner.NumRuns(); n != total-durable {
+		t.Errorf("resumed sweep simulated %d jobs, want only the %d unfinished", n, total-durable)
+	}
+}
+
+func TestKeepGoingRendersERRCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-scale sweep")
+	}
+	exp, ok := ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	eng := NewEngine(microScale, 2)
+	jobs := eng.Jobs(exp)
+	if len(jobs) < 2 {
+		t.Fatalf("fig3 has only %d jobs", len(jobs))
+	}
+	bad := jobs[len(jobs)-1].Config
+	eng.KeepGoing = true
+	eng.Runner.simulateHook = func(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
+		if cfg == bad {
+			return nil, errors.New("injected failure")
+		}
+		// Delegate to the real simulator so healthy cells hold real numbers.
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.RunContext(ctx)
+	}
+
+	table, err := eng.Run(exp)
+	if table == nil {
+		t.Fatalf("keep-going returned no table (err: %v)", err)
+	}
+	if err == nil {
+		t.Error("keep-going masked the failure from the caller")
+	}
+	out := table.String()
+	if !strings.Contains(out, "ERR") {
+		t.Errorf("failed job's cells not rendered as ERR:\n%s", out)
+	}
+	if es := eng.Stats(); es.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", es.JobsFailed)
+	}
+}

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/core"
@@ -144,13 +145,32 @@ func DefaultConfig() Config {
 	}
 }
 
+// Sanity ceilings for numeric fields: beyond these the arithmetic the
+// simulator does with them (footprint scaling, total-reference products,
+// byte sizing) can overflow or allocate absurdly, so Validate rejects them
+// as incoherent rather than letting a fuzzer-shaped config wedge a run.
+const (
+	maxCores       = 1 << 12
+	maxContexts    = 1 << 8
+	maxRefsCeiling = 1 << 48
+	maxScale       = 1e6
+	maxPOMSizeMB   = 1 << 20
+	maxMLPWindow   = 1 << 20
+)
+
 // Validate rejects incoherent configurations.
 func (c *Config) Validate() error {
 	if c.Cores <= 0 {
 		return fmt.Errorf("sim: cores must be positive, got %d", c.Cores)
 	}
+	if c.Cores > maxCores {
+		return fmt.Errorf("sim: cores must be <= %d, got %d", maxCores, c.Cores)
+	}
 	if c.ContextsPerCore < 1 {
 		return fmt.Errorf("sim: contexts per core must be >= 1, got %d", c.ContextsPerCore)
+	}
+	if c.ContextsPerCore > maxContexts {
+		return fmt.Errorf("sim: contexts per core must be <= %d, got %d", maxContexts, c.ContextsPerCore)
 	}
 	if c.Mix.VM1 == "" {
 		return fmt.Errorf("sim: mix has no VM1 benchmark")
@@ -158,11 +178,22 @@ func (c *Config) Validate() error {
 	if c.ContextsPerCore > 1 && c.Mix.VM2 == "" {
 		return fmt.Errorf("sim: %d contexts need a VM2 benchmark", c.ContextsPerCore)
 	}
+	if math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) {
+		return fmt.Errorf("sim: scale must be finite, got %v", c.Scale)
+	}
 	if c.Scale <= 0 {
 		return fmt.Errorf("sim: scale must be positive, got %v", c.Scale)
 	}
+	if c.Scale > maxScale {
+		return fmt.Errorf("sim: scale must be <= %v, got %v", float64(maxScale), c.Scale)
+	}
 	if c.MaxRefsPerCore == 0 {
 		return fmt.Errorf("sim: MaxRefsPerCore must be positive")
+	}
+	if c.MaxRefsPerCore > maxRefsCeiling {
+		// Guards the MaxRefsPerCore*Cores products in the run-control and
+		// sampling arithmetic against uint64 overflow.
+		return fmt.Errorf("sim: MaxRefsPerCore must be <= %d, got %d", uint64(maxRefsCeiling), c.MaxRefsPerCore)
 	}
 	if c.WarmupRefs >= c.MaxRefsPerCore {
 		return fmt.Errorf("sim: warmup (%d) must be below run length (%d)", c.WarmupRefs, c.MaxRefsPerCore)
@@ -176,16 +207,24 @@ func (c *Config) Validate() error {
 	if c.POMSizeMB < 0 {
 		return fmt.Errorf("sim: POM size must not be negative, got %d MB", c.POMSizeMB)
 	}
+	if c.POMSizeMB > maxPOMSizeMB {
+		return fmt.Errorf("sim: POM size must be <= %d MB, got %d", maxPOMSizeMB, c.POMSizeMB)
+	}
 	if (c.Scheme == core.Dynamic || c.Scheme == core.CriticalityDynamic) && c.EpochLen == 0 {
 		return fmt.Errorf("sim: dynamic schemes need a positive epoch length")
 	}
-	if c.Scheme == core.Static && (c.StaticDataFrac <= 0 || c.StaticDataFrac >= 1) {
+	if c.Scheme == core.Static && !(c.StaticDataFrac > 0 && c.StaticDataFrac < 1) {
 		// The partitioner always leaves at least one way per line type, so
-		// a fraction at or beyond the [0,1] ends cannot be honoured.
+		// a fraction at or beyond the [0,1] ends cannot be honoured. The
+		// inverted comparison also catches NaN, which fails every ordered
+		// compare and would otherwise slip through a <=0 || >=1 pair.
 		return fmt.Errorf("sim: static data fraction must be in (0,1), got %v", c.StaticDataFrac)
 	}
 	if c.MLPWindow < 0 {
 		return fmt.Errorf("sim: MLP window must not be negative, got %d", c.MLPWindow)
+	}
+	if c.MLPWindow > maxMLPWindow {
+		return fmt.Errorf("sim: MLP window must be <= %d, got %d", maxMLPWindow, c.MLPWindow)
 	}
 	if c.Scheme != core.None && c.Org == OrgConventional && !c.Virtualized && c.HugePages {
 		// Partitioning over a native huge-page system has almost no TLB

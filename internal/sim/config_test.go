@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -91,6 +92,24 @@ func TestValidate(t *testing.T) {
 
 		{"negative MLP window", func(c *Config) { c.MLPWindow = -1 }, "MLP window"},
 		{"zero MLP window defaults downstream", func(c *Config) { c.MLPWindow = 0 }, ""},
+
+		// Non-finite and overflow-shaped numerics (fuzz-derived hardening).
+		{"NaN scale", func(c *Config) { c.Scale = math.NaN() }, "finite"},
+		{"+Inf scale", func(c *Config) { c.Scale = math.Inf(1) }, "finite"},
+		{"-Inf scale", func(c *Config) { c.Scale = math.Inf(-1) }, "finite"},
+		{"absurd scale", func(c *Config) { c.Scale = 1e18 }, "scale"},
+		{"NaN static fraction", func(c *Config) {
+			c.Scheme = core.Static
+			c.StaticDataFrac = math.NaN()
+		}, "static data fraction"},
+		{"core-count overflow", func(c *Config) { c.Cores = 1 << 30 }, "cores"},
+		{"context-count overflow", func(c *Config) { c.ContextsPerCore = 1 << 20 }, "contexts"},
+		{"reference-count overflow", func(c *Config) {
+			c.MaxRefsPerCore = 1 << 60
+			c.WarmupRefs = 0
+		}, "MaxRefsPerCore"},
+		{"POM size overflow", func(c *Config) { c.POMSizeMB = 1 << 30 }, "POM size"},
+		{"MLP window overflow", func(c *Config) { c.MLPWindow = 1 << 30 }, "MLP window"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// FuzzConfigValidate throws arbitrary numerics at Validate and checks two
+// invariants: Validate never panics, and any configuration it accepts has
+// sane, finite run-control values — NaN/Inf floats and overflow-shaped
+// integers must be rejected before they reach system assembly, where they
+// would size allocations or drive loop bounds.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(8, 2, 0.25, 0.5, uint64(300_000), uint64(60_000), 4, 16, 32)
+	f.Add(1, 1, 1.0, 0.25, uint64(1), uint64(0), 5, 1, 0)
+	f.Add(-1, 0, math.NaN(), math.Inf(1), uint64(0), uint64(1<<63), 3, -16, -1)
+	f.Add(1<<30, 1<<20, math.Inf(-1), math.NaN(), uint64(1)<<60, uint64(5), 6, 1<<30, 1<<30)
+	f.Fuzz(func(t *testing.T, cores, contexts int, scale, dataFrac float64,
+		maxRefs, warmup uint64, levels, pomMB, mlp int) {
+		cfg := DefaultConfig()
+		cfg.Mix = workload.Mix{ID: "fz", VM1: workload.GUPS, VM2: workload.GUPS}
+		cfg.Cores = cores
+		cfg.ContextsPerCore = contexts
+		cfg.Scale = scale
+		cfg.StaticDataFrac = dataFrac
+		cfg.MaxRefsPerCore = maxRefs
+		cfg.WarmupRefs = warmup
+		cfg.PageTableLevels = levels
+		cfg.POMSizeMB = pomMB
+		cfg.MLPWindow = mlp
+
+		err := cfg.Validate() // must not panic
+		if err != nil {
+			return
+		}
+		if math.IsNaN(cfg.Scale) || math.IsInf(cfg.Scale, 0) || cfg.Scale <= 0 {
+			t.Fatalf("Validate accepted non-finite/non-positive scale %v", cfg.Scale)
+		}
+		if cfg.Cores <= 0 || cfg.Cores > maxCores {
+			t.Fatalf("Validate accepted cores %d", cfg.Cores)
+		}
+		if cfg.ContextsPerCore < 1 || cfg.ContextsPerCore > maxContexts {
+			t.Fatalf("Validate accepted contexts %d", cfg.ContextsPerCore)
+		}
+		if cfg.MaxRefsPerCore == 0 || cfg.MaxRefsPerCore > maxRefsCeiling {
+			t.Fatalf("Validate accepted MaxRefsPerCore %d", cfg.MaxRefsPerCore)
+		}
+		if cfg.WarmupRefs >= cfg.MaxRefsPerCore {
+			t.Fatalf("Validate accepted warmup %d >= run length %d", cfg.WarmupRefs, cfg.MaxRefsPerCore)
+		}
+		// The products downstream code forms must not overflow.
+		if total := cfg.MaxRefsPerCore * uint64(cfg.Cores); total/uint64(cfg.Cores) != cfg.MaxRefsPerCore {
+			t.Fatalf("accepted config overflows MaxRefsPerCore*Cores: %d * %d", cfg.MaxRefsPerCore, cfg.Cores)
+		}
+	})
+}

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"math"
+	"reflect"
+
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/core"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -49,6 +52,29 @@ type Results struct {
 	TranslateStallFrac float64 // share of measured cycles stalled on translation
 	DRAMReads          uint64
 	TouchedPages       uint64
+}
+
+// PoisonedResults builds the stand-in for a failed run under keep-going
+// sweeps: every float field is NaN, so any table cell derived from it —
+// directly or through a ratio against a healthy run — renders as ERR
+// (stats.Table formats NaN that way) instead of a silent plausible-looking
+// zero, and geometric means drop it with a visible skip count. Reflection
+// keeps the poisoning complete by construction as Results grows fields.
+func PoisonedResults() *Results {
+	r := &Results{SchemeName: "ERR", OrgName: "ERR"}
+	v := reflect.ValueOf(r).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Float64:
+			f.SetFloat(math.NaN())
+		case reflect.Slice:
+			if f.Type().Elem().Kind() == reflect.Float64 {
+				f.Set(reflect.ValueOf([]float64{math.NaN()}))
+			}
+		}
+	}
+	return r
 }
 
 // collect derives Results from the system's counters relative to the

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 
@@ -39,6 +40,9 @@ type System struct {
 	sinceSample uint64
 	sampleSeq   uint64
 	sampleBase  sampleBase
+
+	// Forward-progress watchdog (disabled unless SetStallLimit was called).
+	dog watchdog
 }
 
 // New builds a System from cfg.
@@ -131,6 +135,16 @@ func MustNew(cfg Config) *System {
 // have passed WarmupRefs. Cores are interleaved min-cycle-first so shared
 // resources (L3, DRAM banks, the POM) see a coherent global clock.
 func (s *System) Run() (*Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the loop polls ctx
+// every few hundred steps and returns ctx.Err() (wrapped) once it is
+// cancelled, so SIGINT/SIGTERM or a per-job deadline stop a simulation
+// promptly without losing the process. The poll shares its cadence with
+// the forward-progress watchdog (see SetStallLimit); an unobserved,
+// uncancelled run takes the exact same simulation path as before.
+func (s *System) RunContext(ctx context.Context) (*Results, error) {
 	target := s.cfg.MaxRefsPerCore
 	warm := s.cfg.WarmupRefs
 	warmed := warm == 0
@@ -138,7 +152,18 @@ func (s *System) Run() (*Results, error) {
 		s.takeSnaps()
 	}
 
+	var sinceCheck int
 	for {
+		sinceCheck++
+		if sinceCheck >= checkEvery {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run cancelled: %w", err)
+			}
+			if err := s.checkStall(); err != nil {
+				return nil, err
+			}
+		}
 		// Pick the active core with the smallest clock.
 		var next *cpu.Core
 		for _, c := range s.cores {

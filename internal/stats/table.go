@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -21,7 +22,9 @@ func NewTable(title string, headers ...string) *Table {
 }
 
 // AddRow appends a row; cells may be strings, float64 (rendered %.3f),
-// float32, ints or anything fmt can print.
+// float32, ints or anything fmt can print. NaN floats render as "ERR":
+// they mark values derived from a failed simulation under a keep-going
+// sweep, and must read as failures rather than numbers.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -29,14 +32,22 @@ func (t *Table) AddRow(cells ...interface{}) {
 		case string:
 			row[i] = v
 		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = formatFloat(v)
 		case float32:
-			row[i] = fmt.Sprintf("%.3f", v)
+			row[i] = formatFloat(float64(v))
 		default:
 			row[i] = fmt.Sprint(v)
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders table numerics, mapping NaN to the ERR marker.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "ERR"
+	}
+	return fmt.Sprintf("%.3f", v)
 }
 
 // NumRows returns the number of data rows added so far.
