@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault fuzz golden-update bench check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry fuzz golden-update bench bench-json check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -44,6 +44,12 @@ race-fault:
 		-run 'Cancel|Panic|Timeout|Transient|Resume|KeepGoing|FailFast|Concurrent|Singleflight|Watchdog|Torn' \
 		./internal/experiment/ ./internal/checkpoint/ ./internal/sim/
 
+# Race coverage of the live telemetry plane: 8 concurrent scrapers against
+# a live sweep (TestConcurrentScrapersDuringSweep), the SSE broadcaster,
+# and the snapshot-publishing exposition path.
+race-telemetry:
+	$(GO) test $(TESTFLAGS) -race ./internal/telemetry/ ./internal/obs/
+
 # Bounded fuzz pass over the workload generators (footprint containment
 # and seed determinism). Extend -fuzztime for deeper soaks.
 fuzz:
@@ -57,4 +63,10 @@ golden-update:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
-check: build vet test race-short race-fault
+# Benchmark-regression harness: run the bench suite plus the fixed
+# throughput probe, write BENCH_<date>.json, and fail on >10% slowdowns
+# against the latest prior report (see cmd/benchreg).
+bench-json:
+	$(GO) run ./cmd/benchreg -dir .
+
+check: build vet test race-short race-fault race-telemetry

@@ -1,0 +1,119 @@
+// Command benchreg runs the repository's benchmark suite plus a fixed
+// simulator throughput probe, writes a schema-versioned BENCH_<date>.json
+// report, and compares it against the most recent prior report in the
+// same directory — exiting non-zero when anything slowed down beyond the
+// threshold. `make bench-json` is the canonical invocation.
+//
+// Exit codes: 0 clean, 1 regression beyond threshold, 2 usage/run error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+
+	"github.com/csalt-sim/csalt/internal/benchreg"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		dir         = flag.String("dir", ".", "directory for BENCH_*.json reports (and the baseline search)")
+		threshold   = flag.Float64("threshold", 0.10, "gate on slowdowns beyond this fraction (0.10 = 10%)")
+		benchPat    = flag.String("bench", ".", "go test -bench pattern")
+		benchtime   = flag.String("benchtime", "1x", "go test -benchtime (1x: one iteration per bench)")
+		skipGobench = flag.Bool("skip-gobench", false, "skip the go test -bench suite")
+		skipProbe   = flag.Bool("skip-probe", false, "skip the simulator throughput probe")
+		probeRefs   = flag.Uint64("probe-refs", benchreg.DefaultProbeRefs, "probe references per core")
+		baseline    = flag.String("baseline", "", "compare against this report instead of the latest prior BENCH_*.json")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "benchreg: unexpected arguments %v\n", flag.Args())
+		return 2
+	}
+
+	rep := benchreg.NewReport()
+	rep.GoVersion = runtime.Version()
+
+	if !*skipGobench {
+		fmt.Fprintf(os.Stderr, "benchreg: running go test -bench %s -benchtime %s ...\n", *benchPat, *benchtime)
+		out, err := runGoBench(*benchPat, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: bench suite failed: %v\n%s\n", err, out)
+			return 2
+		}
+		benches, err := benchreg.ParseGoBench(bytes.NewReader(out))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		if len(benches) == 0 {
+			fmt.Fprintf(os.Stderr, "benchreg: bench pattern %q matched nothing\n", *benchPat)
+			return 2
+		}
+		rep.Benchmarks = benches
+		fmt.Fprintf(os.Stderr, "benchreg: %d benchmarks recorded\n", len(benches))
+	}
+
+	if !*skipProbe {
+		fmt.Fprintf(os.Stderr, "benchreg: running throughput probe (%d refs/core) ...\n", *probeRefs)
+		probe, err := benchreg.RunProbe(*probeRefs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		rep.Probe = probe
+		fmt.Fprintf(os.Stderr, "benchreg: probe %.0f refs/s (digest %.12s)\n",
+			probe.RefsPerSecond, probe.MetricsDigest)
+	}
+
+	path := filepath.Join(*dir, rep.FileName())
+	if err := benchreg.WriteReport(path, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+		return 2
+	}
+	fmt.Printf("benchreg: wrote %s\n", path)
+
+	prior := *baseline
+	if prior == "" {
+		p, err := benchreg.LatestPrior(*dir, rep.FileName())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		prior = p
+	}
+	if prior == "" {
+		fmt.Println("benchreg: no prior report — baseline established, nothing to compare")
+		return 0
+	}
+
+	prev, err := benchreg.ReadReport(prior)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+		return 2
+	}
+	regs := benchreg.Compare(prev, rep, *threshold)
+	if err := benchreg.Gate(regs); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n(baseline: %s)\n", err, prior)
+		return 1
+	}
+	fmt.Printf("benchreg: no regressions beyond %.0f%% vs %s\n", *threshold*100, prior)
+	return 0
+}
+
+// runGoBench executes the root package's benchmark suite and returns the
+// combined output.
+func runGoBench(pattern, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchtime", benchtime, "-timeout", "30m", ".")
+	return cmd.CombinedOutput()
+}

@@ -2,14 +2,17 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/csalt-sim/csalt"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/telemetry"
 )
 
 // obsFlags groups the observability and profiling flags; see
@@ -22,6 +25,7 @@ type obsFlags struct {
 	epochCSV    string
 	epochEvery  uint64
 	epochCap    int
+	listen      string
 	pprofAddr   string
 	cpuProfile  string
 	memProfile  string
@@ -32,7 +36,8 @@ func registerObsFlags(f *obsFlags) {
 	flag.StringVar(&f.traceOut, "trace-out", "", "write the structured event trace to this file")
 	flag.StringVar(&f.traceFormat, "trace-format", "jsonl", "trace encoding: jsonl | chrome")
 	flag.StringVar(&f.traceEvents, "trace-events", "all", "comma-separated trace enable list: context_switch,repartition,pom_fill,pom_evict,pom,all,none")
-	flag.StringVar(&f.epochCSV, "epoch-csv", "", "write the epoch time-series (CSV) to this file")
+	flag.StringVar(&f.epochCSV, "epoch-csv", "", "write the epoch time-series (CSV) to this file ('-' for stdout)")
+	flag.StringVar(&f.listen, "listen", "", "serve the live telemetry plane on this address (e.g. localhost:9100): /metrics /healthz /readyz /events /runs")
 	flag.Uint64Var(&f.epochEvery, "epoch-every", 0, "memory references between epoch samples (0 = auto from run length)")
 	flag.IntVar(&f.epochCap, "epoch-cap", 0, "epoch sample buffer capacity before downsampling (0 = default)")
 	flag.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -41,9 +46,10 @@ func registerObsFlags(f *obsFlags) {
 }
 
 // observed reports whether any per-run observability output was requested
-// (profiling alone does not change the execution path).
+// (profiling alone does not change the execution path). -listen forces the
+// observed path: live telemetry needs an observer on every system.
 func (f *obsFlags) observed() bool {
-	return f.metricsOut != "" || f.traceOut != "" || f.epochCSV != ""
+	return f.metricsOut != "" || f.traceOut != "" || f.epochCSV != "" || f.listen != ""
 }
 
 // suffixPath inserts a mix suffix before the path's extension:
@@ -81,13 +87,28 @@ func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLim
 		return nil, err
 	}
 
+	// Opt-in live telemetry: every run's registry is scraped on /metrics
+	// while it executes, epoch samples stream over /events, and a stall
+	// watchdog failure degrades /healthz.
+	var tel *telemetry.Server
+	if f.listen != "" {
+		tel, err = telemetry.Start(f.listen)
+		if err != nil {
+			return nil, err
+		}
+		defer tel.Close()
+		// The configuration list is already primed when we get here.
+		tel.Health.SetReady(true)
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/{metrics,healthz,readyz,events,runs}\n", tel.Addr())
+	}
+
 	many := len(cfgs) > 1
 	results := make([]*csalt.Results, len(cfgs))
 	for i, cfg := range cfgs {
 		if ctx.Err() != nil {
 			return results, fmt.Errorf("observed run interrupted: %w", context.Cause(ctx))
 		}
-		res, err := runOneObserved(ctx, cfg, f, format, mask, many, stallLimit)
+		res, err := runOneObserved(ctx, cfg, f, format, mask, many, stallLimit, tel)
 		if err != nil {
 			return results, fmt.Errorf("mix %s: %w", cfg.Mix.ID, err)
 		}
@@ -96,7 +117,7 @@ func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLim
 	return results, nil
 }
 
-func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool, stallLimit uint64) (*csalt.Results, error) {
+func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool, stallLimit uint64, tel *telemetry.Server) (*csalt.Results, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -109,22 +130,34 @@ func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format o
 
 	var traceFile *os.File
 	if f.traceOut != "" {
-		traceFile, err = os.Create(outPath(f.traceOut, cfg.Mix.ID, many))
+		traceFile, err = createFile(outPath(f.traceOut, cfg.Mix.ID, many))
 		if err != nil {
 			return nil, err
 		}
 		defer traceFile.Close()
 		o.Tracer = obs.NewTracer(traceFile, format, mask)
 	}
-	if f.metricsOut != "" {
+	if f.metricsOut != "" || tel != nil {
 		o.Registry = obs.NewRegistry()
 	}
-	if f.epochCSV != "" {
+	if f.epochCSV != "" || tel != nil {
 		o.Sampler = obs.NewSampler(sim.SamplerColumns(), f.epochCap)
 	}
 	sys.AttachObserver(o)
 
+	if tel != nil {
+		release := tel.AddSystem(sys, o)
+		defer release()
+	}
+
 	res, runErr := sys.RunContext(ctx)
+	if tel != nil && runErr != nil {
+		var stall *sim.StallError
+		if errors.As(runErr, &stall) {
+			tel.Health.Degrade(fmt.Sprintf("stall watchdog fired on mix %s: no retirement for %d cycles",
+				cfg.Mix.ID, stall.Cycle-stall.LastProgress))
+		}
+	}
 
 	// Flush artifacts even when the run was cut short: the events, metrics
 	// and epoch samples up to the cancellation point are already in the
@@ -134,12 +167,12 @@ func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format o
 			return nil, fmt.Errorf("writing trace: %w", err)
 		}
 	}
-	if o.Registry != nil {
+	if f.metricsOut != "" {
 		if err := writeMetrics(o.Registry.Snapshot(), outPath(f.metricsOut, cfg.Mix.ID, many)); err != nil && runErr == nil {
 			return nil, err
 		}
 	}
-	if o.Sampler != nil {
+	if f.epochCSV != "" {
 		if err := writeEpochCSV(o.Sampler, outPath(f.epochCSV, cfg.Mix.ID, many)); err != nil && runErr == nil {
 			return nil, err
 		}
@@ -147,9 +180,23 @@ func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format o
 	return res, runErr
 }
 
-// writeEpochCSV flushes the sampler's series to path.
+// createFile opens path for writing, creating missing parent directories
+// so `-trace-out out/run/trace.jsonl` works without a prior mkdir.
+func createFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
+// writeEpochCSV flushes the sampler's series to path ('-' for stdout).
 func writeEpochCSV(s *obs.Sampler, path string) error {
-	out, err := os.Create(path)
+	if path == "-" {
+		return s.WriteCSV(os.Stdout)
+	}
+	out, err := createFile(path)
 	if err != nil {
 		return err
 	}
@@ -164,7 +211,7 @@ func writeMetrics(snap obs.Snapshot, path string) error {
 	if path == "-" {
 		return snap.WriteJSON(os.Stdout)
 	}
-	out, err := os.Create(path)
+	out, err := createFile(path)
 	if err != nil {
 		return err
 	}

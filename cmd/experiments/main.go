@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -43,6 +44,7 @@ import (
 	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/experiment"
 	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/telemetry"
 )
 
 // Exit codes: usage/config errors are distinguishable from simulation
@@ -74,6 +76,7 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); an overrunning job fails, the sweep continues per -keep-going")
 		stallCycles = flag.Uint64("stall-cycles", 10_000_000, "in-simulator watchdog: fail a job if no instruction retires for this many simulated cycles (0 = off)")
 		retries     = flag.Int("retries", 0, "bounded retries for transient job failures")
+		listen      = flag.String("listen", "", "serve the live telemetry plane on this address (e.g. localhost:9100): /metrics /healthz /readyz /events /runs")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -158,6 +161,24 @@ func main() {
 	rep := newReporter(os.Stderr, *quiet)
 	eng.Progress = rep.progress
 
+	// Opt-in live telemetry: Prometheus exposition, health/readiness, SSE
+	// progress and the run inventory, all fed from the engine and runner
+	// without perturbing the simulations (see OBSERVABILITY.md).
+	var tel *telemetry.Server
+	if *listen != "" {
+		tel, err = telemetry.Start(*listen)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		defer tel.Close()
+		tel.AttachEngine(eng)
+		tel.AttachRunner(eng.Runner)
+		if store != nil {
+			tel.AttachStore(store)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/{metrics,healthz,readyz,events,runs}\n", tel.Addr())
+	}
+
 	// Ctrl-C / SIGTERM cancel the sweep cooperatively: in-flight
 	// simulations stop within a few hundred steps, completed results stay
 	// durable in the store, and the metrics/summary still flush below.
@@ -169,6 +190,10 @@ func main() {
 	// simulated once, and the pool keeps every worker busy across
 	// experiment boundaries.
 	jobs := eng.Jobs(todo...)
+	if tel != nil {
+		// The queue is primed: flip readiness for scrapers and orchestrators.
+		tel.Health.SetReady(true)
+	}
 	start := time.Now()
 	execErr := eng.ExecuteContext(ctx, jobs)
 	rep.clear()
@@ -276,6 +301,11 @@ func writeEngineMetrics(path string, es experiment.EngineStats, scale string, pa
 		JobWallSeconds: es.JobWall.Seconds(),
 		SimCycles:      es.SimCycles, SimInstructions: es.SimInstructions,
 		CyclesPerSec: es.CyclesPerSecond(),
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,320 @@
+// Package benchreg is the benchmark-regression harness behind
+// cmd/benchreg and `make bench-json`: it parses `go test -bench` output
+// and a fixed simulator throughput probe into a schema-versioned JSON
+// report, compares the report against the latest prior one, and gates
+// (non-zero exit) on slowdowns beyond a threshold — turning "the
+// simulator got slower" from an anecdote into a tracked, diffable
+// artifact (BENCH_<date>.json) alongside the experiment goldens.
+package benchreg
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// Schema identifies the report layout; bump Version on incompatible
+// changes so comparisons against stale baselines fail loudly.
+const (
+	Schema  = "csalt-bench"
+	Version = 1
+)
+
+// FilePrefix names report files BENCH_<YYYY-MM-DD>.json; the date-stamped
+// names sort lexicographically, which is how LatestPrior finds the most
+// recent baseline.
+const FilePrefix = "BENCH_"
+
+// Report is one benchmark run's persistent record.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Version    int         `json:"version"`
+	Date       string      `json:"date"` // YYYY-MM-DD
+	GoVersion  string      `json:"go_version,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Probe      *Probe      `json:"probe,omitempty"`
+}
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"` // without the -GOMAXPROCS suffix
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"` // custom ReportMetric units
+}
+
+// Probe is the fixed-configuration simulator throughput measurement: the
+// same tiny system every run, so refs/second is comparable across
+// reports, and a digest of its metrics snapshot pins behaviour — a digest
+// change means the simulation itself changed, so the throughput delta is
+// not a pure performance signal.
+type Probe struct {
+	RefsPerSecond float64 `json:"refs_per_second"`
+	Refs          uint64  `json:"refs"` // total measured references
+	Seconds       float64 `json:"seconds"`
+	MetricsDigest string  `json:"metrics_digest"` // sha256 of the registry snapshot JSON
+}
+
+// Regression is one gated slowdown.
+type Regression struct {
+	Name  string  // benchmark name or "probe"
+	Prev  float64 // baseline value
+	Cur   float64 // current value
+	Ratio float64 // cur/prev for ns/op, prev/cur for throughput (>1 = worse)
+	Unit  string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g → %.4g %s (%.1f%% worse)", r.Name, r.Prev, r.Cur, r.Unit, (r.Ratio-1)*100)
+}
+
+// NewReport builds an empty report stamped with today's date.
+func NewReport() *Report {
+	return &Report{Schema: Schema, Version: Version, Date: time.Now().UTC().Format("2006-01-02")}
+}
+
+// FileName returns the report's BENCH_<date>.json name.
+func (r *Report) FileName() string { return FilePrefix + r.Date + ".json" }
+
+// ParseGoBench extracts benchmark result lines from `go test -bench`
+// output. Lines look like:
+//
+//	BenchmarkTLBLookup-8   123456   98.7 ns/op   12 B/op   3 allocs/op   0.91 sim-ipc
+//
+// Unrecognised lines are skipped (the output interleaves ok/PASS lines).
+func ParseGoBench(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the -GOMAXPROCS suffix so reports from machines with
+			// different core counts still compare by name.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := Benchmark{Name: name, Iterations: iters}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchreg: %s: unparseable value %q", name, f[i])
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if b.NsPerOp == 0 {
+			return nil, fmt.Errorf("benchreg: %s: no ns/op in result line", name)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchreg: reading bench output: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// probeConfig is the fixed tiny system every probe measures: 2 cores,
+// GUPS on both VMs, CSALT-CD — enough of the full model (TLBs, caches,
+// partitioning controller, DRAM, walkers) to be representative, small
+// enough for sub-second runs.
+func probeConfig(refsPerCore uint64) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 2
+	cfg.Scale = 0.1
+	cfg.MaxRefsPerCore = refsPerCore
+	cfg.WarmupRefs = refsPerCore / 5
+	cfg.Scheme = core.CriticalityDynamic
+	cfg.Mix = workload.Mix{ID: "probe", VM1: workload.GUPS, VM2: workload.GUPS}
+	return cfg
+}
+
+// DefaultProbeRefs is the per-core reference count of the standard probe.
+const DefaultProbeRefs uint64 = 120_000
+
+// RunProbe measures end-to-end simulator throughput on the fixed probe
+// configuration and fingerprints the run's metrics snapshot. The digest
+// is deterministic for a given simulator version: if it differs between
+// two reports, the model changed and their throughput numbers are not
+// directly comparable.
+func RunProbe(refsPerCore uint64) (*Probe, error) {
+	if refsPerCore == 0 {
+		refsPerCore = DefaultProbeRefs
+	}
+	cfg := probeConfig(refsPerCore)
+	sys, err := sim.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: building probe system: %w", err)
+	}
+	reg := obs.NewRegistry()
+	sys.AttachObserver(&obs.Observer{Registry: reg})
+
+	start := time.Now()
+	if _, err := sys.Run(); err != nil {
+		return nil, fmt.Errorf("benchreg: probe run: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: encoding probe snapshot: %w", err)
+	}
+	sum := sha256.Sum256(snap)
+
+	refs := refsPerCore * uint64(cfg.Cores)
+	return &Probe{
+		RefsPerSecond: float64(refs) / elapsed.Seconds(),
+		Refs:          refs,
+		Seconds:       elapsed.Seconds(),
+		MetricsDigest: hex.EncodeToString(sum[:]),
+	}, nil
+}
+
+// Compare returns every regression of cur against prev beyond threshold
+// (0.10 = 10%): benchmarks whose ns/op grew by more than the threshold,
+// and a probe whose refs/second shrank by more than it. Benchmarks
+// present in only one report are ignored (added or retired benches are
+// not regressions); a probe digest mismatch skips the probe comparison —
+// the model changed, so the throughput delta is not attributable to
+// performance.
+func Compare(prev, cur *Report, threshold float64) []Regression {
+	var regs []Regression
+	prevBy := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		prevBy[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		p, ok := prevBy[b.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / p.NsPerOp
+		if ratio > 1+threshold {
+			regs = append(regs, Regression{Name: b.Name, Prev: p.NsPerOp, Cur: b.NsPerOp, Ratio: ratio, Unit: "ns/op"})
+		}
+	}
+	if prev.Probe != nil && cur.Probe != nil && prev.Probe.RefsPerSecond > 0 &&
+		prev.Probe.MetricsDigest == cur.Probe.MetricsDigest {
+		if cur.Probe.RefsPerSecond < prev.Probe.RefsPerSecond*(1-threshold) {
+			regs = append(regs, Regression{
+				Name: "probe", Prev: prev.Probe.RefsPerSecond, Cur: cur.Probe.RefsPerSecond,
+				Ratio: prev.Probe.RefsPerSecond / cur.Probe.RefsPerSecond, Unit: "refs/s",
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// Gate converts a regression list into a single error (nil when clean).
+func Gate(regs []Regression) error {
+	if len(regs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(regs))
+	for i, r := range regs {
+		lines[i] = "  " + r.String()
+	}
+	return fmt.Errorf("benchreg: %d benchmark regression(s) beyond threshold:\n%s",
+		len(regs), strings.Join(lines, "\n"))
+}
+
+// WriteReport writes the report as indented JSON at path, creating parent
+// directories.
+func WriteReport(path string, r *Report) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("benchreg: creating report dir: %w", err)
+		}
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchreg: encoding report: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchreg: writing report: %w", err)
+	}
+	return nil
+}
+
+// ReadReport loads and validates a report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: reading report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchreg: decoding %s: %w", path, err)
+	}
+	if r.Schema != Schema || r.Version != Version {
+		return nil, fmt.Errorf("benchreg: %s is %s/v%d, this binary reads %s/v%d",
+			path, r.Schema, r.Version, Schema, Version)
+	}
+	return &r, nil
+}
+
+// LatestPrior finds the lexicographically greatest BENCH_*.json in dir,
+// excluding the named file (the report being written). It returns "" when
+// no prior report exists — the first run has no baseline.
+func LatestPrior(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("benchreg: scanning %s: %w", dir, err)
+	}
+	best := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, FilePrefix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if name == exclude {
+			continue
+		}
+		if name > best {
+			best = name
+		}
+	}
+	if best == "" {
+		return "", nil
+	}
+	return filepath.Join(dir, best), nil
+}

@@ -1,0 +1,176 @@
+package benchreg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/csalt-sim/csalt
+cpu: Some CPU @ 2.40GHz
+BenchmarkTLBLookup-8        	12345678	        98.7 ns/op
+BenchmarkCacheLookup-8      	 2000000	       512 ns/op	      64 B/op	       2 allocs/op
+BenchmarkSystemThroughput-8 	  300000	      3456 ns/op	         0.9123 sim-ipc
+PASS
+ok  	github.com/csalt-sim/csalt	12.345s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Sorted by name, -8 suffix stripped.
+	if got[0].Name != "BenchmarkCacheLookup" || got[0].NsPerOp != 512 ||
+		got[0].BytesPerOp != 64 || got[0].AllocsOp != 2 {
+		t.Errorf("CacheLookup parsed wrong: %+v", got[0])
+	}
+	if got[1].Name != "BenchmarkSystemThroughput" || got[1].Metrics["sim-ipc"] != 0.9123 {
+		t.Errorf("SystemThroughput custom metric lost: %+v", got[1])
+	}
+	if got[2].Name != "BenchmarkTLBLookup" || got[2].NsPerOp != 98.7 || got[2].Iterations != 12345678 {
+		t.Errorf("TLBLookup parsed wrong: %+v", got[2])
+	}
+}
+
+// report builds a minimal two-bench report with a probe.
+func report(ns1, ns2, refsPerSec float64, digest string) *Report {
+	r := NewReport()
+	r.Benchmarks = []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: ns1, Iterations: 1},
+		{Name: "BenchmarkB", NsPerOp: ns2, Iterations: 1},
+	}
+	r.Probe = &Probe{RefsPerSecond: refsPerSec, MetricsDigest: digest}
+	return r
+}
+
+// TestCompareGatesRegression is the acceptance criterion: a synthetic
+// >10% slowdown must produce a non-empty regression list and a gating
+// error, while a ≤10% drift passes.
+func TestCompareGatesRegression(t *testing.T) {
+	prev := report(100, 200, 1e6, "d")
+
+	// 15% slower benchmark A + 20% slower probe: both gate.
+	cur := report(115, 205, 0.8e6, "d")
+	regs := Compare(prev, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want BenchmarkA and probe", regs)
+	}
+	if regs[0].Name != "BenchmarkA" || regs[1].Name != "probe" {
+		t.Errorf("regression names = %s, %s", regs[0].Name, regs[1].Name)
+	}
+	err := Gate(regs)
+	if err == nil {
+		t.Fatal("Gate accepted regressions")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") || !strings.Contains(err.Error(), "probe") {
+		t.Errorf("gate error does not name the regressions: %v", err)
+	}
+
+	// Exactly-at-threshold and below: no regression.
+	cur = report(110, 180, 0.9e6, "d")
+	if regs := Compare(prev, cur, 0.10); len(regs) != 0 {
+		t.Errorf("within-threshold drift gated: %+v", regs)
+	}
+	if err := Gate(nil); err != nil {
+		t.Errorf("Gate(nil) = %v", err)
+	}
+}
+
+// TestCompareSkipsIncomparable checks the two deliberate blind spots:
+// benchmarks present in only one report, and probes whose behaviour
+// digest changed (the model itself changed).
+func TestCompareSkipsIncomparable(t *testing.T) {
+	prev := report(100, 200, 1e6, "d1")
+	cur := &Report{
+		Schema: Schema, Version: Version,
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 500},   // 5x slower — gates
+			{Name: "BenchmarkNew", NsPerOp: 1e9}, // no baseline — ignored
+		},
+		Probe: &Probe{RefsPerSecond: 1, MetricsDigest: "d2"}, // digest changed — ignored
+	}
+	regs := Compare(prev, cur, 0.10)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Errorf("regressions = %+v, want only BenchmarkA", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := report(100, 200, 1e6, "d")
+	r.Benchmarks[0].Metrics = map[string]float64{"sim-ipc": 0.9}
+	path := filepath.Join(dir, r.FileName())
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Version != Version || got.Date != r.Date {
+		t.Errorf("header round-trip: %+v", got)
+	}
+	if len(got.Benchmarks) != 2 || got.Benchmarks[0].Metrics["sim-ipc"] != 0.9 ||
+		got.Probe == nil || got.Probe.RefsPerSecond != 1e6 {
+		t.Errorf("body round-trip: %+v", got)
+	}
+
+	// Schema mismatch must fail loudly.
+	bad := filepath.Join(dir, "BENCH_1999-01-01.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other","version":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(bad); err == nil || !strings.Contains(err.Error(), "other") {
+		t.Errorf("schema mismatch not rejected: %v", err)
+	}
+}
+
+func TestLatestPrior(t *testing.T) {
+	dir := t.TempDir()
+	if got, err := LatestPrior(dir, "BENCH_2026-08-06.json"); err != nil || got != "" {
+		t.Errorf("empty dir: %q, %v", got, err)
+	}
+	for _, name := range []string{
+		"BENCH_2026-07-01.json", "BENCH_2026-08-05.json", "BENCH_2026-08-06.json",
+		"BENCH_notes.txt", "other.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestPrior(dir, "BENCH_2026-08-06.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-05.json" {
+		t.Errorf("LatestPrior = %q, want the 08-05 report (excluding today's)", got)
+	}
+}
+
+// TestProbeDeterministicDigest runs the fixed probe twice at a reduced
+// size: the behaviour digest must match across runs (throughput of
+// course varies), and the refs/second must be positive.
+func TestProbeDeterministicDigest(t *testing.T) {
+	const refs = 6_000
+	p1, err := RunProbe(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RunProbe(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.MetricsDigest == "" || p1.MetricsDigest != p2.MetricsDigest {
+		t.Errorf("probe digest not deterministic: %q vs %q", p1.MetricsDigest, p2.MetricsDigest)
+	}
+	if p1.RefsPerSecond <= 0 || p1.Refs != refs*2 {
+		t.Errorf("probe throughput implausible: %+v", p1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -201,6 +202,19 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+// Keys returns every key currently in the index, sorted — the durable-run
+// inventory the telemetry plane serves on /runs.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Replayed returns how many intact records were loaded from disk at Open —

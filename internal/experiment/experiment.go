@@ -111,6 +111,13 @@ type Runner struct {
 	// identical (the observability layer is passive).
 	Observe func(*sim.System)
 
+	// ObserveDone, when non-nil, is invoked once a system handed to
+	// Observe finishes running — on success, failure or panic — so a live
+	// telemetry plane can retire the run's metric source. It runs on the
+	// simulating goroutine, after the run loop has stopped touching the
+	// system's counters.
+	ObserveDone func(*sim.System)
+
 	// Store, when non-nil, makes results durable: every completed
 	// simulation is appended to the checkpoint log, and configurations
 	// already in the log are replayed instead of re-simulated — the
@@ -334,6 +341,12 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 	}
 	if r.Observe != nil {
 		r.Observe(sys)
+	}
+	if r.ObserveDone != nil {
+		// Deferred so telemetry sources retire even when the run panics
+		// (this defer runs before the recover handler above converts the
+		// panic into a *PanicError).
+		defer r.ObserveDone(sys)
 	}
 	return sys.RunContext(ctx)
 }

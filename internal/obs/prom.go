@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the snapshot → Prometheus-text-format exposition adapter:
+// it renders the hierarchical registry ("group.sub" namespaces, dotted
+// metric names, log2 histograms) as the flat, labelled sample families a
+// Prometheus scrape expects. Metric names mangle as
+// <prefix>_<group>_<metric> with every non-[a-zA-Z0-9_] rune replaced by
+// '_' (tlb.l2tlb0 misses → csalt_tlb_l2tlb0_misses); labels carry the
+// run identity (mix/cores/scheme/...). Output is deterministic: families
+// sort by name, samples sort by label string, floats use the shortest
+// exact encoding.
+
+// Label is one Prometheus label pair attached to every sample a source
+// contributes.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// promSample is one rendered sample line plus its sort key.
+type promSample struct {
+	key  string
+	line string
+}
+
+// promFamily is one metric family: HELP/TYPE emitted once, then every
+// sample across all contributing sources.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// PromWriter accumulates samples from one or more registries (or ad-hoc
+// gauges) into Prometheus text-format families, deduplicating HELP/TYPE
+// headers when several labelled sources share a family — the shape a
+// multi-run sweep exposes, one series per (mix, cores, scheme).
+type PromWriter struct {
+	families map[string]*promFamily
+}
+
+// NewPromWriter builds an empty exposition.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{families: make(map[string]*promFamily)}
+}
+
+// family returns the named family, creating it with help/typ on first use
+// (first registration wins, matching Prometheus's one-TYPE-per-name rule).
+func (pw *PromWriter) family(name, help, typ string) *promFamily {
+	if f, ok := pw.families[name]; ok {
+		return f
+	}
+	f := &promFamily{name: name, help: help, typ: typ}
+	pw.families[name] = f
+	return f
+}
+
+// Gauge adds one gauge sample.
+func (pw *PromWriter) Gauge(name, help string, labels []Label, v float64) {
+	pw.scalar(name, help, "gauge", labels, v)
+}
+
+// Counter adds one counter sample.
+func (pw *PromWriter) Counter(name, help string, labels []Label, v float64) {
+	pw.scalar(name, help, "counter", labels, v)
+}
+
+func (pw *PromWriter) scalar(name, help, typ string, labels []Label, v float64) {
+	name = MangleMetricName(name)
+	f := pw.family(name, help, typ)
+	ls := renderLabels(labels)
+	f.samples = append(f.samples, promSample{
+		key:  ls,
+		line: name + ls + " " + formatPromValue(v),
+	})
+}
+
+// Histogram adds one log2 histogram as a native Prometheus histogram:
+// cumulative _bucket samples (le = exclusive bucket bound, so every value
+// in [lo,hi) is ≤ hi−1 < hi), then _sum and _count.
+func (pw *PromWriter) Histogram(name, help string, labels []Label, h HistSnapshot) {
+	name = MangleMetricName(name)
+	f := pw.family(name, help, "histogram")
+	ls := renderLabels(labels)
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := strconv.FormatUint(b.Hi, 10)
+		f.samples = append(f.samples, promSample{
+			key:  ls + "\x00bucket\x00" + fmt.Sprintf("%020d", b.Hi),
+			line: name + "_bucket" + renderLabels(append(append([]Label{}, labels...), Label{"le", le})) + " " + strconv.FormatUint(cum, 10),
+		})
+	}
+	f.samples = append(f.samples,
+		promSample{
+			key:  ls + "\x00bucket\x00\xff",
+			line: name + "_bucket" + renderLabels(append(append([]Label{}, labels...), Label{"le", "+Inf"})) + " " + strconv.FormatUint(h.Total, 10),
+		},
+		promSample{
+			key:  ls + "\x00sum",
+			line: name + "_sum" + ls + " " + strconv.FormatUint(h.Sum, 10),
+		},
+		promSample{
+			key:  ls + "\x00count",
+			line: name + "_count" + ls + " " + strconv.FormatUint(h.Total, 10),
+		},
+	)
+}
+
+// AddRegistry renders every metric of r under prefix with the given
+// labels. Values come from snap when non-nil — the pattern for live
+// scrapes, where the owning goroutine published a consistent Snapshot and
+// the HTTP goroutine must not touch live counters — or from the registry
+// closures when snap is nil (safe only once the simulation is quiescent).
+// Metric kinds (counter vs gauge vs histogram) come from the registry's
+// registration calls.
+func (pw *PromWriter) AddRegistry(r *Registry, snap Snapshot, prefix string, labels []Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, gname := range r.order {
+		g := r.groups[gname]
+		sm := snap[gname]
+		for _, m := range g.metrics {
+			var v float64
+			if snap != nil {
+				fv, ok := sm[m.name].(float64)
+				if !ok {
+					continue
+				}
+				v = fv
+			} else {
+				v = m.get()
+			}
+			name := prefix + "_" + gname + "_" + m.name
+			help := fmt.Sprintf("%s %s of %s.", gname, m.name, m.kind)
+			pw.scalar(name, help, m.kind.String(), labels, v)
+		}
+		for _, he := range g.hists {
+			var hs HistSnapshot
+			if snap != nil {
+				h, ok := sm[he.name].(HistSnapshot)
+				if !ok {
+					continue
+				}
+				hs = h
+			} else {
+				hs = snapshotHist(he.h)
+			}
+			name := prefix + "_" + gname + "_" + he.name
+			help := fmt.Sprintf("%s %s log2 histogram.", gname, he.name)
+			pw.Histogram(name, help, labels, hs)
+		}
+	}
+}
+
+// Write emits the accumulated exposition: families sorted by name, each
+// with one HELP/TYPE header followed by its samples sorted by label
+// string. The output is valid Prometheus text format (version 0.0.4).
+func (pw *PromWriter) Write(w io.Writer) error {
+	names := make([]string, 0, len(pw.families))
+	for n := range pw.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := pw.families[n]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		sort.SliceStable(f.samples, func(i, j int) bool { return f.samples[i].key < f.samples[j].key })
+		for _, s := range f.samples {
+			if _, err := io.WriteString(w, s.line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MangleMetricName maps an arbitrary dotted/dashed name onto the
+// Prometheus metric-name alphabet: every rune outside [a-zA-Z0-9_] becomes
+// '_', and a leading digit gains a '_' prefix.
+func MangleMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// renderLabels renders {a="b",c="d"} with escaped values, or "" when
+// empty.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(MangleMetricName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format label escapes: backslash,
+// double quote and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatPromValue renders a float the way Prometheus text format expects:
+// shortest exact representation, with NaN/Inf spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+func TestMangleMetricName(t *testing.T) {
+	cases := map[string]string{
+		"tlb.l2tlb0.misses":       "tlb_l2tlb0_misses",
+		"dram.ddr4-2133.accesses": "dram_ddr4_2133_accesses",
+		"5level":                  "_5level",
+		"already_clean":           "already_clean",
+	}
+	for in, want := range cases {
+		if got := MangleMetricName(in); got != want {
+			t.Errorf("MangleMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromWriterScalarsAndLabels(t *testing.T) {
+	pw := NewPromWriter()
+	labels := []Label{{"mix", `cc"o\mp`}, {"cores", "8"}}
+	pw.Counter("csalt_sim_page_walks", "Page walks.", labels, 42)
+	pw.Gauge("csalt_sim_ipc", "IPC.", nil, 0.75)
+	var b bytes.Buffer
+	if err := pw.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE csalt_sim_ipc gauge",
+		"# TYPE csalt_sim_page_walks counter",
+		"csalt_sim_ipc 0.75",
+		`csalt_sim_page_walks{mix="cc\"o\\mp",cores="8"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHistogramCumulative(t *testing.T) {
+	var h stats.Log2Histogram
+	h.Observe(3) // bucket [2,4)
+	h.Observe(3)
+	h.Observe(100) // bucket [64,128)
+	pw := NewPromWriter()
+	pw.Histogram("csalt_walker_0_walk_cycles", "Walk cycles.", []Label{{"mix", "gups"}}, snapshotHist(&h))
+	var b bytes.Buffer
+	if err := pw.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE csalt_walker_0_walk_cycles histogram",
+		`csalt_walker_0_walk_cycles_bucket{mix="gups",le="4"} 2`,
+		`csalt_walker_0_walk_cycles_bucket{mix="gups",le="128"} 3`,
+		`csalt_walker_0_walk_cycles_bucket{mix="gups",le="+Inf"} 3`,
+		`csalt_walker_0_walk_cycles_sum{mix="gups"} 106`,
+		`csalt_walker_0_walk_cycles_count{mix="gups"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative counts must be nondecreasing in le order.
+	if strings.Index(out, `le="4"`) > strings.Index(out, `le="128"`) {
+		t.Errorf("buckets out of le order:\n%s", out)
+	}
+}
+
+func TestPromWriterAddRegistryFromSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var count uint64
+	g := r.Group("tlb.l2tlb0")
+	g.Counter("misses", func() uint64 { return count })
+	g.Gauge("hit_rate", func() float64 { return 0.5 })
+	count = 9
+	snap := r.Snapshot()
+	count = 1000 // the exposition must read the snapshot, not live state
+
+	pw := NewPromWriter()
+	pw.AddRegistry(r, snap, "csalt", []Label{{"mix", "gups"}})
+	var b bytes.Buffer
+	if err := pw.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `csalt_tlb_l2tlb0_misses{mix="gups"} 9`) {
+		t.Errorf("snapshot value not used:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE csalt_tlb_l2tlb0_misses counter") {
+		t.Errorf("counter kind lost:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE csalt_tlb_l2tlb0_hit_rate gauge") {
+		t.Errorf("gauge kind lost:\n%s", out)
+	}
+}
+
+func TestPromWriterSharedFamilyAcrossSources(t *testing.T) {
+	mk := func(v float64) *Registry {
+		r := NewRegistry()
+		r.Group("sim").Gauge("ipc", func() float64 { return v })
+		return r
+	}
+	pw := NewPromWriter()
+	pw.AddRegistry(mk(0.5), nil, "csalt", []Label{{"mix", "gups"}})
+	pw.AddRegistry(mk(0.7), nil, "csalt", []Label{{"mix", "ccomp"}})
+	var b bytes.Buffer
+	if err := pw.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if n := strings.Count(out, "# TYPE csalt_sim_ipc gauge"); n != 1 {
+		t.Errorf("family header emitted %d times, want exactly 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, `csalt_sim_ipc{mix="gups"} 0.5`) ||
+		!strings.Contains(out, `csalt_sim_ipc{mix="ccomp"} 0.7`) {
+		t.Errorf("per-source samples missing:\n%s", out)
+	}
+}
+
+func TestPromWriterDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Group("b.z").Gauge("y", func() float64 { return 2 })
+		r.Group("a.q").Counter("x", func() uint64 { return 1 })
+		pw := NewPromWriter()
+		pw.AddRegistry(r, nil, "csalt", []Label{{"cores", "2"}})
+		var b bytes.Buffer
+		if err := pw.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	out := build()
+	if strings.Index(out, "csalt_a_q_x") > strings.Index(out, "csalt_b_z_y") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}

@@ -22,10 +22,29 @@ import (
 	"github.com/csalt-sim/csalt/internal/stats"
 )
 
+// metricKind distinguishes monotone counters from point-in-time gauges,
+// so exposition formats that care (Prometheus TYPE lines) can tell them
+// apart; JSON/text snapshots treat both as plain scalars.
+type metricKind uint8
+
+const (
+	kindGauge metricKind = iota
+	kindCounter
+)
+
+// String renders the Prometheus TYPE keyword.
+func (k metricKind) String() string {
+	if k == kindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
 // metric is one registered scalar: a name plus a closure reading the live
 // value.
 type metric struct {
 	name string
+	kind metricKind
 	get  func() float64
 }
 
@@ -52,7 +71,7 @@ func (g *Group) Gauge(name string, get func() float64) {
 	if g == nil {
 		return
 	}
-	g.metrics = append(g.metrics, metric{name: name, get: get})
+	g.metrics = append(g.metrics, metric{name: name, kind: kindGauge, get: get})
 }
 
 // Counter registers a monotonically increasing count; it is exported as a
@@ -61,7 +80,8 @@ func (g *Group) Counter(name string, get func() uint64) {
 	if g == nil {
 		return
 	}
-	g.Gauge(name, func() float64 { return float64(get()) })
+	g.metrics = append(g.metrics, metric{name: name, kind: kindCounter,
+		get: func() float64 { return float64(get()) }})
 }
 
 // Histogram registers a log2-bucketed distribution. The histogram is read
@@ -172,6 +192,12 @@ func snapshotHist(h *stats.Log2Histogram) HistSnapshot {
 // diffed bucket-wise (totals, sums and counts), and groups or metrics
 // absent from prev pass through unchanged. It supports before/after
 // interval reporting without resetting any live counter.
+//
+// Delta preserves cur's key set exactly: every group, metric and histogram
+// bucket present in the full snapshot appears in the delta, including
+// zero-valued entries. Interval consumers (Prometheus scrapes, epoch
+// diffing) therefore see a stable series set — a counter that did not move
+// between snapshots reports 0 rather than disappearing.
 func Delta(cur, prev Snapshot) Snapshot {
 	out := make(Snapshot, len(cur))
 	for gname, metrics := range cur {
@@ -214,10 +240,11 @@ func deltaHist(cur, prev HistSnapshot) HistSnapshot {
 	if d.Total > 0 {
 		d.Mean = float64(d.Sum) / float64(d.Total)
 	}
+	// Emit every bucket the full snapshot has — zero deltas included — so
+	// the delta's bucket key set matches cur's (counters are monotone, so
+	// cur's buckets are a superset of prev's).
 	for _, b := range cur.Buckets {
-		if c := b.Count - prevCount[b.Lo]; c > 0 {
-			d.Buckets = append(d.Buckets, BucketExport{Lo: b.Lo, Hi: b.Hi, Count: c})
-		}
+		d.Buckets = append(d.Buckets, BucketExport{Lo: b.Lo, Hi: b.Hi, Count: b.Count - prevCount[b.Lo]})
 	}
 	return d
 }

@@ -228,6 +228,11 @@ func (s *System) takeSnaps() {
 	}
 }
 
+// Config returns the configuration the system was built from, so callers
+// holding only the system (observer hooks, telemetry sources) can label
+// what they are looking at.
+func (s *System) Config() Config { return s.cfg }
+
 // Mem exposes the memory system for white-box tests.
 func (s *System) Mem() *memSystem { return s.mem }
 

@@ -1,0 +1,136 @@
+package telemetry
+
+import "sync"
+
+// Event is one server-sent event: a type tag plus a single-line JSON
+// payload (json.Marshal output never contains raw newlines, which keeps
+// the SSE framing trivial).
+type Event struct {
+	Type string
+	Data []byte
+}
+
+// DefaultSubscriberBuffer is the per-subscriber channel depth; a consumer
+// further behind than this starts losing events.
+const DefaultSubscriberBuffer = 256
+
+// Broadcaster fans events out to any number of subscribers without ever
+// blocking the publisher: the engine's worker goroutines and the
+// simulation loops publish job and epoch events from the hot path, so a
+// stalled curl must cost them nothing. A subscriber whose buffer is full
+// has the event dropped and counted — both per-subscriber and globally —
+// rather than applying backpressure.
+type Broadcaster struct {
+	mu        sync.Mutex
+	subs      map[*Subscription]struct{}
+	published uint64
+	dropped   uint64
+	closed    bool
+}
+
+// Subscription is one subscriber's bounded event feed. Receive from C;
+// call Close when done (disconnecting without Close leaks the slot until
+// the broadcaster closes).
+type Subscription struct {
+	C <-chan Event
+
+	b       *Broadcaster
+	c       chan Event
+	dropped uint64 // guarded by b.mu
+}
+
+// NewBroadcaster builds an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[*Subscription]struct{})}
+}
+
+// Subscribe registers a new subscriber with the given buffer depth
+// (<= 0 selects DefaultSubscriberBuffer). On a closed broadcaster the
+// returned subscription's channel is already closed.
+func (b *Broadcaster) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = DefaultSubscriberBuffer
+	}
+	sub := &Subscription{b: b, c: make(chan Event, buf)}
+	sub.C = sub.c
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(sub.c)
+		return sub
+	}
+	b.subs[sub] = struct{}{}
+	return sub
+}
+
+// Close unsubscribes; it is idempotent and safe concurrently with
+// Publish. The channel is NOT closed (a concurrent Publish may be about
+// to send); the subscriber simply stops receiving.
+func (s *Subscription) Close() {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	delete(s.b.subs, s)
+}
+
+// Dropped returns how many events this subscriber lost to a full buffer.
+func (s *Subscription) Dropped() uint64 {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	return s.dropped
+}
+
+// Publish delivers ev to every subscriber that has room, dropping (and
+// counting) it for the rest. It never blocks.
+func (b *Broadcaster) Publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.published++
+	for sub := range b.subs {
+		select {
+		case sub.c <- ev:
+		default:
+			sub.dropped++
+			b.dropped++
+		}
+	}
+}
+
+// Published returns the number of events offered to subscribers.
+func (b *Broadcaster) Published() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}
+
+// Dropped returns the total events lost across all slow subscribers.
+func (b *Broadcaster) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Close shuts the broadcaster down: every subscriber's channel is closed
+// (readers see end-of-stream) and later Publish/Subscribe calls are
+// no-ops.
+func (b *Broadcaster) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for sub := range b.subs {
+		close(sub.c)
+		delete(b.subs, sub)
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// TestBroadcastDelivery checks fan-out: every subscriber with room
+// receives every published event, in order.
+func TestBroadcastDelivery(t *testing.T) {
+	b := NewBroadcaster()
+	s1 := b.Subscribe(8)
+	s2 := b.Subscribe(8)
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Type: "t", Data: []byte{byte('a' + i)}})
+	}
+	for name, sub := range map[string]*Subscription{"s1": s1, "s2": s2} {
+		for i := 0; i < 3; i++ {
+			ev := <-sub.C
+			if got, want := string(ev.Data), string(rune('a'+i)); got != want {
+				t.Errorf("%s event %d = %q, want %q", name, i, got, want)
+			}
+		}
+	}
+	if b.Published() != 3 || b.Dropped() != 0 {
+		t.Errorf("published=%d dropped=%d, want 3/0", b.Published(), b.Dropped())
+	}
+}
+
+// TestBroadcastSlowSubscriberDrops checks the bounded fan-out contract:
+// a subscriber that stops draining loses exactly the overflow, counted
+// both per-subscriber and globally, while a healthy subscriber keeps
+// receiving everything.
+func TestBroadcastSlowSubscriberDrops(t *testing.T) {
+	b := NewBroadcaster()
+	slow := b.Subscribe(2)  // never drained
+	fast := b.Subscribe(16) // drains after the fact
+
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: "t", Data: []byte(fmt.Sprint(i))})
+	}
+
+	if got := slow.Dropped(); got != 8 {
+		t.Errorf("slow subscriber dropped %d events, want 8", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Errorf("fast subscriber dropped %d events, want 0", got)
+	}
+	if got := b.Dropped(); got != 8 {
+		t.Errorf("global drop counter = %d, want 8", got)
+	}
+	if got := b.Published(); got != 10 {
+		t.Errorf("published = %d, want 10", got)
+	}
+	// The slow subscriber still holds the first two events.
+	for i := 0; i < 2; i++ {
+		ev := <-slow.C
+		if string(ev.Data) != fmt.Sprint(i) {
+			t.Errorf("slow buffered event %d = %q", i, ev.Data)
+		}
+	}
+	// The fast subscriber holds all ten.
+	for i := 0; i < 10; i++ {
+		ev := <-fast.C
+		if string(ev.Data) != fmt.Sprint(i) {
+			t.Errorf("fast buffered event %d = %q", i, ev.Data)
+		}
+	}
+}
+
+// TestBroadcastUnsubscribe checks that a closed subscription stops
+// receiving (and stops counting as a drop target) while others continue.
+func TestBroadcastUnsubscribe(t *testing.T) {
+	b := NewBroadcaster()
+	gone := b.Subscribe(1)
+	stay := b.Subscribe(4)
+	if n := b.Subscribers(); n != 2 {
+		t.Fatalf("subscribers = %d, want 2", n)
+	}
+	gone.Close()
+	gone.Close() // idempotent
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("subscribers after Close = %d, want 1", n)
+	}
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Type: "t"})
+	}
+	if got := b.Dropped(); got != 0 {
+		t.Errorf("closed subscriber still counted drops: %d", got)
+	}
+	if len(stay.C) != 3 {
+		t.Errorf("remaining subscriber has %d buffered events, want 3", len(stay.C))
+	}
+	select {
+	case <-gone.C:
+		t.Error("closed subscription received an event")
+	default:
+	}
+}
+
+// TestBroadcastClose checks shutdown semantics: subscribers see
+// end-of-stream and later operations are no-ops.
+func TestBroadcastClose(t *testing.T) {
+	b := NewBroadcaster()
+	sub := b.Subscribe(1)
+	b.Close()
+	b.Close() // idempotent
+	if _, open := <-sub.C; open {
+		t.Error("subscriber channel still open after broadcaster Close")
+	}
+	b.Publish(Event{Type: "t"}) // must not panic or count
+	if b.Published() != 0 {
+		t.Error("Publish after Close counted")
+	}
+	late := b.Subscribe(1)
+	if _, open := <-late.C; open {
+		t.Error("Subscribe after Close returned an open channel")
+	}
+}
+
+// TestConcurrentScrapersDuringSweep is the race-detector workout behind
+// `make race`: a live micro-sweep publishes epoch snapshots and job
+// events while 8 concurrent scrapers hammer /metrics, /runs, /healthz
+// and /events the whole time. Any unsynchronised access between the
+// simulation goroutines and the HTTP handlers is a test failure under
+// -race.
+func TestConcurrentScrapersDuringSweep(t *testing.T) {
+	srv := NewServer()
+	eng := experiment.NewEngine(microScale, 2)
+	srv.AttachEngine(eng)
+	srv.AttachRunner(eng.Runner)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	jobs := microJobs(4)
+	srv.Health.SetReady(true)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/metrics", "/runs", "/healthz", "/readyz"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + paths[(i+n)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// One streaming /events consumer for the duration of the sweep.
+	sub := srv.Events.Subscribe(0)
+	defer sub.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case ev := <-sub.C:
+				if ev.Type != "" && !json.Valid(ev.Data) {
+					t.Errorf("event %q carries invalid JSON: %s", ev.Type, ev.Data)
+				}
+			}
+		}
+	}()
+
+	err := eng.Execute(jobs)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// After the sweep every source must have been retired and the stream
+	// must have seen run/epoch/job traffic.
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, "csalt_engine_jobs_done 4") {
+		t.Errorf("/metrics missing engine jobs_done gauge:\n%s", grepLines(body, "jobs_done"))
+	}
+	if strings.Contains(body, `mix="t"`) {
+		t.Error("/metrics still exposes a retired run source")
+	}
+	if srv.Events.Published() == 0 {
+		t.Error("no events published during sweep")
+	}
+}
+
+// microJobs builds n distinct single-core jobs at micro scale.
+func microJobs(n int) []experiment.Job {
+	var jobs []experiment.Job
+	for i := 0; i < n; i++ {
+		cfg := microScale.BaseConfig()
+		cfg.Mix = workload.Mix{ID: "t", VM1: workload.GUPS, VM2: workload.GUPS}
+		cfg.Seed = uint64(i + 1)
+		jobs = append(jobs, experiment.Job{Config: cfg, Experiments: []string{fmt.Sprintf("micro%d", i)}})
+	}
+	return jobs
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// AttachEngine wires a sweep engine into the plane: its aggregate job
+// stats become /metrics gauges and /runs inventory, and every completed
+// job streams a "job" event over /events. Forward-progress guard
+// failures — the in-simulator stall watchdog and the engine's per-job
+// deadline — degrade /healthz with the failing job as the reason.
+// Attach before Execute, like any progress listener.
+func (s *Server) AttachEngine(eng *experiment.Engine) {
+	s.mu.Lock()
+	s.engine = eng
+	s.mu.Unlock()
+
+	eng.OnProgress(func(p experiment.Progress) {
+		s.classifyFailure(p.Label, p.Err)
+		s.publishJobEvent(p)
+	})
+}
+
+// classifyFailure degrades health for deterministic forward-progress
+// failures. Stalls and deadline overruns mean a configuration cannot make
+// progress — a restart reproduces them — so the process stops reporting
+// healthy; ordinary model errors (bad config, trace ended) do not.
+func (s *Server) classifyFailure(label string, err error) {
+	if err == nil {
+		return
+	}
+	var stall *sim.StallError
+	switch {
+	case errors.As(err, &stall):
+		s.Health.Degrade(fmt.Sprintf("stall watchdog fired on %s: no retirement for %d cycles",
+			label, stall.Cycle-stall.LastProgress))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.Health.Degrade(fmt.Sprintf("job timeout exceeded on %s", label))
+	}
+}
+
+// publishJobEvent streams one completed job's progress line.
+func (s *Server) publishJobEvent(p experiment.Progress) {
+	payload := struct {
+		Label          string  `json:"label"`
+		Done           int     `json:"done"`
+		Total          int     `json:"total"`
+		Failed         int     `json:"failed"`
+		ElapsedSeconds float64 `json:"elapsed_seconds"`
+		SinceSeconds   float64 `json:"since_seconds"`
+		Error          string  `json:"error,omitempty"`
+	}{
+		Label: p.Label, Done: p.Done, Total: p.Total, Failed: p.Failed,
+		ElapsedSeconds: p.Elapsed.Seconds(), SinceSeconds: p.Since.Seconds(),
+	}
+	if p.Err != nil {
+		payload.Error = p.Err.Error()
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	s.Events.Publish(Event{Type: "job", Data: data})
+}

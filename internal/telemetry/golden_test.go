@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsGolden pins the full /metrics body of one fixed tiny run:
+// a deterministic simulation's registry rendered through the exposition
+// adapter must produce a byte-identical Prometheus document — stable
+// family ordering, label rendering and escaping, HELP/TYPE headers, and
+// float formatting. Engine and server self-metrics are excluded (they
+// carry wall-clock-dependent values); the golden covers the per-run
+// source rendering, which is the bulk of the exposition.
+func TestMetricsGolden(t *testing.T) {
+	sys, o := observedSystem(t, "golden")
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pw := obs.NewPromWriter()
+	pw.AddRegistry(o.Registry, o.Registry.Snapshot(), MetricsPrefix, LabelsFor(sys.Config()))
+	var buf bytes.Buffer
+	if err := pw.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	if err := validatePromText(got); err != nil {
+		t.Fatalf("rendered exposition is not valid Prometheus text: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("exposition deviates from golden at line %d:\n  got:  %q\n  want: %q\n(run with -update to accept)", i+1, g, w)
+		}
+	}
+}
+
+// TestGoldenParserRejectsMalformed sanity-checks that the validator is
+// not vacuous: each malformed document must be rejected.
+func TestGoldenParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "x_total 1\n# HELP x_total h\n# TYPE x_total counter\nx_total 2\n",
+		"duplicate TYPE":     "# TYPE a gauge\na 1\n# TYPE a counter\na 2\n",
+		"bad metric name":    "# TYPE 9bad gauge\n9bad 1\n",
+		"unterminated label": "# TYPE a gauge\na{x=\"y 1\n",
+		"missing value":      "# TYPE a gauge\na{x=\"y\"}\n",
+		"bad value":          "# TYPE a gauge\na potato\n",
+		"undeclared family":  "# TYPE a gauge\nb 1\n",
+		"histogram le decreases": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+			"h_sum 9\nh_count 5\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n",
+		"histogram +Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n",
+	}
+	for name, doc := range cases {
+		if err := validatePromText(doc); err == nil {
+			t.Errorf("%s: validator accepted malformed document:\n%s", name, doc)
+		}
+	}
+	ok := "# HELP h help\n# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 2\nh_bucket{le=\"4\"} 5\nh_bucket{le=\"+Inf\"} 5\n" +
+		"h_sum 9\nh_count 5\n" +
+		"# TYPE x gauge\nx{a=\"b\\\"c\"} 1.5\nx{a=\"d\"} NaN\n"
+	if err := validatePromText(ok); err != nil {
+		t.Errorf("validator rejected a well-formed document: %v", err)
+	}
+}
+
+// validatePromText is a minimal hand-rolled Prometheus text-format
+// (0.0.4) checker, strict about exactly what our exposition promises:
+// line grammar, HELP/TYPE headers preceding every sample of their
+// family, at most one TYPE per family, samples only for declared
+// families, and histogram buckets cumulative in le order ending at
+// le="+Inf" equal to _count.
+func validatePromText(body string) error {
+	typeOf := make(map[string]string) // family -> type
+	sampled := make(map[string]bool)  // family has emitted samples
+	type histSeries struct {
+		lastLe  float64
+		lastCum float64
+		sawInf  bool
+		infVal  float64
+		count   float64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histSeries) // family + "\x00" + labels-without-le
+
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseHeaderLine(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			if sampled[name] {
+				return fmt.Errorf("line %d: %s header for %s after its samples", lineNo, kind, name)
+			}
+			if kind == "TYPE" {
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, rest)
+				}
+				typeOf[name] = rest
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, suffix := familyOf(name, typeOf)
+		if fam == "" {
+			return fmt.Errorf("line %d: sample %s has no TYPE header", lineNo, name)
+		}
+		sampled[fam] = true
+
+		if typeOf[fam] == "histogram" {
+			key := fam + "\x00" + labelsKeyWithoutLe(labels)
+			hs := hists[key]
+			if hs == nil {
+				hs = &histSeries{lastLe: math.Inf(-1)}
+				hists[key] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				leStr, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				le, err := strconv.ParseFloat(leStr, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: unparseable le %q", lineNo, leStr)
+				}
+				if le <= hs.lastLe {
+					return fmt.Errorf("line %d: bucket le %v not increasing (prev %v)", lineNo, le, hs.lastLe)
+				}
+				if value < hs.lastCum {
+					return fmt.Errorf("line %d: cumulative bucket count %v decreased (prev %v)", lineNo, value, hs.lastCum)
+				}
+				hs.lastLe, hs.lastCum = le, value
+				if math.IsInf(le, 1) {
+					hs.sawInf, hs.infVal = true, value
+				}
+			case "_count":
+				hs.count, hs.hasCnt = value, true
+			case "_sum":
+			default:
+				return fmt.Errorf("line %d: sample %s under histogram family %s", lineNo, name, fam)
+			}
+		}
+	}
+
+	for key, hs := range hists {
+		fam := key[:strings.Index(key, "\x00")]
+		if !hs.sawInf {
+			return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", fam)
+		}
+		if !hs.hasCnt {
+			return fmt.Errorf("histogram %s: no _count sample", fam)
+		}
+		if hs.infVal != hs.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", fam, hs.infVal, hs.count)
+		}
+	}
+	return nil
+}
+
+// parseHeaderLine splits "# HELP name text" / "# TYPE name type"; other
+// comments return kind "".
+func parseHeaderLine(line string) (kind, name, rest string, err error) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if !strings.HasPrefix(line, k) {
+			continue
+		}
+		body := line[len(k):]
+		sp := strings.IndexByte(body, ' ')
+		if sp <= 0 {
+			return "", "", "", fmt.Errorf("malformed header %q", line)
+		}
+		name, rest = body[:sp], body[sp+1:]
+		if !validMetricName(name) {
+			return "", "", "", fmt.Errorf("invalid metric name %q", name)
+		}
+		return strings.TrimSpace(k[2:]), name, rest, nil
+	}
+	return "", "", "", nil
+}
+
+// parseSampleLine parses `name{labels} value` / `name value`.
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels = make(map[string]string)
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, 0, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			eq := strings.IndexByte(line[i:], '=')
+			if eq <= 0 {
+				return "", nil, 0, fmt.Errorf("malformed label pair at %q", line[i:])
+			}
+			lname := line[i : i+eq]
+			if !validMetricName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+			}
+			i += eq + 1
+			if i >= len(line) || line[i] != '"' {
+				return "", nil, 0, fmt.Errorf("label %s value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return "", nil, 0, fmt.Errorf("unterminated label value for %s", lname)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return "", nil, 0, fmt.Errorf("dangling escape in label %s", lname)
+					}
+					switch line[i+1] {
+					case '\\', '"':
+						val.WriteByte(line[i+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, 0, fmt.Errorf("bad escape \\%c in label %s", line[i+1], lname)
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			labels[lname] = val.String()
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, 0, fmt.Errorf("missing value separator in %q", line)
+	}
+	valStr := line[i+1:]
+	if valStr == "" || strings.ContainsRune(valStr, ' ') {
+		// A trailing timestamp would be legal Prometheus but our writer
+		// never emits one; reject to keep the contract tight.
+		return "", nil, 0, fmt.Errorf("malformed value %q", valStr)
+	}
+	value, err = strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", valStr)
+	}
+	return name, labels, value, nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match,
+// or histogram suffix match.
+func familyOf(name string, typeOf map[string]string) (fam, suffix string) {
+	if _, ok := typeOf[name]; ok {
+		return name, ""
+	}
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, sfx)
+		if base != name {
+			if typ, ok := typeOf[base]; ok && typ == "histogram" {
+				return base, sfx
+			}
+		}
+	}
+	return "", ""
+}
+
+// labelsKeyWithoutLe renders a stable identity for a label set minus le.
+func labelsKeyWithoutLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// validMetricName checks the Prometheus metric/label name alphabet.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package telemetry
+
+import "sync"
+
+// Health tracks the process's liveness and readiness as the /healthz and
+// /readyz endpoints report them.
+//
+// Readiness starts false and flips true once the driver's work queue is
+// primed (jobs enumerated, configurations parsed). Degradation is the
+// liveness escape hatch: when a forward-progress guard fires — the
+// in-simulator stall watchdog or the engine's per-job deadline — the
+// process is alive but no longer trustworthy, so /healthz turns 503 with
+// the first root-cause reason and stays there (both guards report
+// deterministic failures; a restart does not clear them).
+type Health struct {
+	mu      sync.Mutex
+	ready   bool
+	reason  string // first degradation reason; "" = healthy
+	degrade int    // total Degrade calls, for /metrics
+}
+
+// SetReady flips the readiness gate.
+func (h *Health) SetReady(ready bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ready = ready
+}
+
+// Degrade marks the process degraded. The first reason sticks (it is the
+// root cause — later failures are usually fallout); every call counts.
+func (h *Health) Degrade(reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.degrade++
+	if h.reason == "" {
+		h.reason = reason
+	}
+}
+
+// Status returns the readiness flag and the degradation reason ("" when
+// healthy).
+func (h *Health) Status() (ready bool, reason string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready, h.reason
+}
+
+// Degradations returns how many times Degrade has been called.
+func (h *Health) Degradations() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degrade
+}

@@ -1,0 +1,406 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// microScale mirrors the experiment package's test scale: just enough
+// simulation to exercise the plumbing in milliseconds.
+var microScale = experiment.Scale{
+	Name: "micro", Cores: 1, WorkloadScale: 0.05,
+	MaxRefs: 6_000, Warmup: 1_000,
+	SwitchCycles: 20_000, EpochLen: 1_500, OccEvery: 2_000,
+}
+
+// get fetches a path from the test server and returns response + body.
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s body: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+// observedSystem builds a micro-scale single-core system with a registry
+// and sampler attached, the way AttachRunner wires fresh systems.
+func observedSystem(t *testing.T, mixID string) (*sim.System, *obs.Observer) {
+	t.Helper()
+	cfg := microScale.BaseConfig()
+	cfg.Mix = workload.Mix{ID: mixID, VM1: workload.GUPS, VM2: workload.GUPS}
+	sys, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &obs.Observer{
+		Registry: obs.NewRegistry(),
+		Sampler:  obs.NewSampler(sim.SamplerColumns(), 0),
+	}
+	sys.AttachObserver(o)
+	return sys, o
+}
+
+// grepLines returns the body lines containing substr, for error messages.
+func grepLines(body, substr string) string {
+	var out []string
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return "(no lines match " + substr + ")"
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestReadinessLifecycle checks the /readyz gate: 503 until the queue is
+// primed, 200 after, and /healthz healthy throughout.
+func TestReadinessLifecycle(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, body := get(t, ts, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "not ready") {
+		t.Errorf("/readyz before priming: status %d body %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz while unready: status %d, want 200 (unready is not unhealthy)", resp.StatusCode)
+	}
+	srv.Health.SetReady(true)
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after priming: status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthzDegradesOnStall checks the acceptance criterion: a stall
+// watchdog failure surfacing through engine progress flips /healthz to
+// 503 with the job named in the reason, stays degraded, and records the
+// degradation counter on /metrics.
+func TestHealthzDegradesOnStall(t *testing.T) {
+	srv := NewServer()
+	eng := experiment.NewEngine(microScale, 1)
+	srv.AttachEngine(eng)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Health.SetReady(true)
+
+	// Feed a wrapped stall through the engine's progress path, exactly as
+	// runJob reports a failed job.
+	stall := &sim.StallError{Limit: 1000, Cycle: 5000, LastProgress: 2000}
+	eng.Progress(experiment.Progress{
+		Done: 1, Total: 3, Failed: 1, Label: "fig7 t pomtlb/csalt",
+		Err: fmt.Errorf("%s: %w", "fig7 t pomtlb/csalt", stall),
+	})
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz after stall: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "stall watchdog") || !strings.Contains(body, "fig7") {
+		t.Errorf("/healthz degradation reason = %q, want stall watchdog + job label", body)
+	}
+	if resp, _ := get(t, ts, "/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("/readyz not degraded alongside /healthz")
+	}
+
+	// A later, different failure must not replace the root cause but must
+	// still count.
+	eng.Progress(experiment.Progress{
+		Done: 2, Total: 3, Failed: 2, Label: "fig8 t pomtlb/csalt",
+		Err: fmt.Errorf("job exceeded 1s wall-clock deadline: %w", context.DeadlineExceeded),
+	})
+	if _, body := get(t, ts, "/healthz"); !strings.Contains(body, "fig7") {
+		t.Errorf("first degradation reason did not stick: %q", body)
+	}
+	if _, body := get(t, ts, "/metrics"); !strings.Contains(body, "csalt_telemetry_degradations_total 2") {
+		t.Errorf("degradation counter wrong:\n%s", grepLines(body, "degradations"))
+	}
+
+	// An ordinary model failure must NOT degrade health.
+	srv2 := NewServer()
+	eng2 := experiment.NewEngine(microScale, 1)
+	srv2.AttachEngine(eng2)
+	eng2.Progress(experiment.Progress{Label: "x", Err: fmt.Errorf("trace ended prematurely")})
+	if _, reason := srv2.Health.Status(); reason != "" {
+		t.Errorf("ordinary failure degraded health: %q", reason)
+	}
+}
+
+// TestMetricsDuringSweep runs a real micro-sweep with runner observation
+// attached and checks the exposition: engine gauges present and valid
+// Prometheus text, per-run sources labelled while in flight (checked via
+// the initial attach snapshot), everything retired after.
+func TestMetricsDuringSweep(t *testing.T) {
+	srv := NewServer()
+	eng := experiment.NewEngine(microScale, 1)
+	srv.AttachEngine(eng)
+	srv.AttachRunner(eng.Runner)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Capture an exposition mid-run: scrape from inside the progress
+	// callback after the first of two jobs lands — the second source is
+	// created later, but engine gauges must already be live.
+	var midBody string
+	eng.OnProgress(func(p experiment.Progress) {
+		if p.Done == 1 && midBody == "" {
+			_, midBody = get(t, ts, "/metrics")
+		}
+	})
+	if err := eng.Execute(microJobs(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	if !strings.Contains(midBody, "csalt_engine_jobs_total 2") {
+		t.Errorf("mid-sweep exposition missing jobs_total:\n%s", grepLines(midBody, "jobs_total"))
+	}
+	if !strings.Contains(midBody, "csalt_engine_jobs_done 1") {
+		t.Errorf("mid-sweep exposition missing jobs_done:\n%s", grepLines(midBody, "jobs_done"))
+	}
+	for _, family := range []string{
+		"csalt_engine_eta_seconds", "csalt_engine_refs_per_second",
+		"csalt_engine_cycles_per_second", "csalt_telemetry_events_published_total",
+	} {
+		if !strings.Contains(midBody, family) {
+			t.Errorf("mid-sweep exposition missing %s", family)
+		}
+	}
+	if err := validatePromText(midBody); err != nil {
+		t.Errorf("mid-sweep exposition not valid Prometheus text: %v", err)
+	}
+
+	resp, body := get(t, ts, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := validatePromText(body); err != nil {
+		t.Errorf("final exposition not valid Prometheus text: %v", err)
+	}
+	if !strings.Contains(body, "csalt_engine_jobs_done 2") {
+		t.Errorf("final exposition jobs_done wrong:\n%s", grepLines(body, "jobs_done"))
+	}
+}
+
+// TestSourceVisibleWhileRunning pins the per-run source lifecycle using
+// AddSystem directly: labelled registry metrics appear on /metrics while
+// attached and vanish at release.
+func TestSourceVisibleWhileRunning(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sys, o := observedSystem(t, "t")
+	release := srv.AddSystem(sys, o)
+
+	_, body := get(t, ts, "/metrics")
+	if !strings.Contains(body, `mix="t"`) || !strings.Contains(body, "csalt_core_0_instructions{") {
+		t.Errorf("attached source not exposed:\n%s", grepLines(body, "core_0_instructions"))
+	}
+	if err := validatePromText(body); err != nil {
+		t.Errorf("exposition with live source invalid: %v", err)
+	}
+
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After the run the final snapshot must show real work.
+	_, body = get(t, ts, "/metrics")
+	if !strings.Contains(body, "csalt_core_0_instructions{") {
+		t.Fatal("source vanished before release")
+	}
+	var instr float64
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "csalt_core_0_instructions{") {
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &instr)
+		}
+	}
+	if instr <= 0 {
+		t.Errorf("post-run instructions counter = %v, want > 0:\n%s", instr, grepLines(body, "core_0_instructions"))
+	}
+
+	release()
+	release() // idempotent
+	_, body = get(t, ts, "/metrics")
+	if strings.Contains(body, `mix="t"`) {
+		t.Error("released source still exposed")
+	}
+}
+
+// TestRunsInventory checks the /runs JSON: in-flight sources with labels,
+// engine aggregates, and the checkpoint store's keys.
+func TestRunsInventory(t *testing.T) {
+	srv := NewServer()
+	eng := experiment.NewEngine(microScale, 1)
+	srv.AttachEngine(eng)
+
+	st, err := checkpoint.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put("k1", map[string]int{"v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	srv.AttachStore(st)
+
+	sys, o := observedSystem(t, "t")
+	release := srv.AddSystem(sys, o)
+	defer release()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := get(t, ts, "/runs")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got struct {
+		Ready    bool `json:"ready"`
+		InFlight []struct {
+			Labels         map[string]string `json:"labels"`
+			RunningSeconds float64           `json:"running_seconds"`
+		} `json:"in_flight"`
+		Engine *struct {
+			JobsTotal int `json:"jobs_total"`
+		} `json:"engine"`
+		Checkpointed *struct {
+			Count int      `json:"count"`
+			Keys  []string `json:"keys"`
+		} `json:"checkpointed"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/runs is not JSON: %v\n%s", err, body)
+	}
+	if len(got.InFlight) != 1 || got.InFlight[0].Labels["mix"] != "t" ||
+		got.InFlight[0].Labels["cores"] != "1" {
+		t.Errorf("in_flight = %+v", got.InFlight)
+	}
+	if got.InFlight[0].RunningSeconds < 0 {
+		t.Errorf("running_seconds negative: %v", got.InFlight[0].RunningSeconds)
+	}
+	if got.Engine == nil {
+		t.Error("engine block missing")
+	}
+	if got.Checkpointed == nil || got.Checkpointed.Count != 1 || got.Checkpointed.Keys[0] != "k1" {
+		t.Errorf("checkpointed = %+v", got.Checkpointed)
+	}
+}
+
+// TestEventsSSE exercises the HTTP half of /events: frames arrive in SSE
+// framing with typed events and JSON payloads, and the handler
+// unsubscribes when the client disconnects.
+func TestEventsSSE(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Wait for the subscriber to register before publishing.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Events.Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.publishRunEvent("start", LabelsFor(func() sim.Config {
+		cfg := microScale.BaseConfig()
+		cfg.Mix = workload.Mix{ID: "t", VM1: workload.GUPS, VM2: workload.GUPS}
+		return cfg
+	}()))
+
+	sc := bufio.NewScanner(resp.Body)
+	var eventLine, dataLine string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			eventLine = line
+		}
+		if strings.HasPrefix(line, "data: ") {
+			dataLine = line
+			break
+		}
+	}
+	if eventLine != "event: run" {
+		t.Errorf("event line = %q", eventLine)
+	}
+	var payload struct {
+		Phase  string            `json:"phase"`
+		Labels map[string]string `json:"labels"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(dataLine, "data: ")), &payload); err != nil {
+		t.Fatalf("data line not JSON: %v (%q)", err, dataLine)
+	}
+	if payload.Phase != "start" || payload.Labels["mix"] != "t" {
+		t.Errorf("payload = %+v", payload)
+	}
+
+	// Disconnect; the handler must unsubscribe.
+	cancel()
+	deadline = time.Now().Add(5 * time.Second)
+	for srv.Events.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler leaked its subscription after disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStartServesRealListener checks the Start/Addr/Close path used by
+// the cmds: an ephemeral-port listener serves /healthz until closed.
+func TestStartServesRealListener(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no listen address")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Errorf("GET /healthz over real listener: %d %q", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}
