@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault race-telemetry fuzz golden-update bench bench-json check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz golden-update bench bench-json check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -50,6 +50,14 @@ race-fault:
 race-telemetry:
 	$(GO) test $(TESTFLAGS) -race ./internal/telemetry/ ./internal/obs/
 
+# Race coverage of the fault-injection plane: the chaos determinism test
+# (same seed + schedule must reproduce the identical firing sequence and
+# byte-identical tables run to run) plus the injection plane's own
+# concurrent-firing budget test. -short skips only the 100-seed coverage
+# sweep; the determinism and contract tests still run.
+race-chaos:
+	$(GO) test $(TESTFLAGS) -race -short ./internal/chaos/ ./internal/faultinject/
+
 # Bounded fuzz pass over the workload generators (footprint containment
 # and seed determinism). Extend -fuzztime for deeper soaks.
 fuzz:
@@ -69,4 +77,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchreg -dir .
 
-check: build vet test race-short race-fault race-telemetry
+check: build vet test race-short race-fault race-telemetry race-chaos

@@ -25,14 +25,15 @@ func main() {
 
 func run() int {
 	var (
-		dir         = flag.String("dir", ".", "directory for BENCH_*.json reports (and the baseline search)")
-		threshold   = flag.Float64("threshold", 0.10, "gate on slowdowns beyond this fraction (0.10 = 10%)")
-		benchPat    = flag.String("bench", ".", "go test -bench pattern")
-		benchtime   = flag.String("benchtime", "1x", "go test -benchtime (1x: one iteration per bench)")
-		skipGobench = flag.Bool("skip-gobench", false, "skip the go test -bench suite")
-		skipProbe   = flag.Bool("skip-probe", false, "skip the simulator throughput probe")
-		probeRefs   = flag.Uint64("probe-refs", benchreg.DefaultProbeRefs, "probe references per core")
-		baseline    = flag.String("baseline", "", "compare against this report instead of the latest prior BENCH_*.json")
+		dir            = flag.String("dir", ".", "directory for BENCH_*.json reports (and the baseline search)")
+		threshold      = flag.Float64("threshold", 0.10, "gate on slowdowns beyond this fraction (0.10 = 10%)")
+		benchPat       = flag.String("bench", ".", "go test -bench pattern")
+		benchtime      = flag.String("benchtime", "1x", "go test -benchtime (1x: one iteration per bench)")
+		skipGobench    = flag.Bool("skip-gobench", false, "skip the go test -bench suite")
+		skipProbe      = flag.Bool("skip-probe", false, "skip the simulator throughput probe")
+		probeRefs      = flag.Uint64("probe-refs", benchreg.DefaultProbeRefs, "probe references per core")
+		baseline       = flag.String("baseline", "", "compare against this report instead of the latest prior BENCH_*.json")
+		overheadRounds = flag.Int("overhead-rounds", 3, "best-of-N rounds per mode for the invariant-overhead measurement")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -73,6 +74,15 @@ func run() int {
 		rep.Probe = probe
 		fmt.Fprintf(os.Stderr, "benchreg: probe %.0f refs/s (digest %.12s)\n",
 			probe.RefsPerSecond, probe.MetricsDigest)
+
+		frac, err := benchreg.MeasureInvariantOverhead(*probeRefs, *overheadRounds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		probe.InvariantOverheadFrac = frac
+		fmt.Fprintf(os.Stderr, "benchreg: always-on invariant checks cost %+.2f%% throughput (bar <%.0f%%)\n",
+			frac*100, benchreg.MaxInvariantOverheadFrac*100)
 	}
 
 	path := filepath.Join(*dir, rep.FileName())
@@ -81,6 +91,14 @@ func run() int {
 		return 2
 	}
 	fmt.Printf("benchreg: wrote %s\n", path)
+
+	// The invariant-overhead bar is absolute, not relative to a baseline:
+	// the always-on safety net must stay cheap even on the first run.
+	if rep.Probe != nil && rep.Probe.InvariantOverheadFrac > benchreg.MaxInvariantOverheadFrac {
+		fmt.Fprintf(os.Stderr, "benchreg: always-on invariant checks cost %.2f%% throughput, above the %.0f%% bar\n",
+			rep.Probe.InvariantOverheadFrac*100, benchreg.MaxInvariantOverheadFrac*100)
+		return 1
+	}
 
 	prior := *baseline
 	if prior == "" {

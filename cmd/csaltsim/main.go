@@ -67,6 +67,7 @@ func main() {
 		history  = flag.Bool("history", false, "print the per-epoch partition trace")
 		jsonOut  = flag.Bool("json", false, "emit the full Results struct(s) as JSON")
 		stallCyc = flag.Uint64("stall-cycles", 10_000_000, "forward-progress watchdog: fail a run if no instruction retires for this many simulated cycles (0 = off)")
+		check    = flag.Bool("check", false, "arm the opt-in structural model-invariant checkers (periodic conservation and partition audits); a violation fails the run")
 	)
 	var of obsFlags
 	registerObsFlags(&of)
@@ -154,11 +155,12 @@ func main() {
 		// Observed runs go through sim directly so the observer can attach
 		// to each freshly built system; they run sequentially, each owning
 		// its output files.
-		results, runErr = runObserved(ctx, cfgs, &of, *stallCyc)
+		results, runErr = runObserved(ctx, cfgs, &of, *stallCyc, *check)
 	} else {
 		results, runErr = csalt.RunManyContext(ctx, cfgs, csalt.ManyOpts{
 			Parallel:         *parallel,
 			StallLimitCycles: *stallCyc,
+			CheckInvariants:  *check,
 		})
 	}
 

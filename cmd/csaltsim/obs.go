@@ -77,7 +77,7 @@ func outPath(path, mixID string, many bool) string {
 // sweeps. A cancelled run still flushes whatever artifacts it accumulated
 // (a partial trace of a run you had to kill is exactly the diagnostic you
 // wanted), and remaining configurations are skipped with nil result slots.
-func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLimit uint64) ([]*csalt.Results, error) {
+func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLimit uint64, check bool) ([]*csalt.Results, error) {
 	format, err := obs.ParseFormat(f.traceFormat)
 	if err != nil {
 		return nil, err
@@ -108,7 +108,7 @@ func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLim
 		if ctx.Err() != nil {
 			return results, fmt.Errorf("observed run interrupted: %w", context.Cause(ctx))
 		}
-		res, err := runOneObserved(ctx, cfg, f, format, mask, many, stallLimit, tel)
+		res, err := runOneObserved(ctx, cfg, f, format, mask, many, stallLimit, check, tel)
 		if err != nil {
 			return results, fmt.Errorf("mix %s: %w", cfg.Mix.ID, err)
 		}
@@ -117,13 +117,16 @@ func runObserved(ctx context.Context, cfgs []csalt.Config, f *obsFlags, stallLim
 	return results, nil
 }
 
-func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool, stallLimit uint64, tel *telemetry.Server) (*csalt.Results, error) {
+func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format obs.Format, mask obs.EventMask, many bool, stallLimit uint64, check bool, tel *telemetry.Server) (*csalt.Results, error) {
 	sys, err := sim.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	if stallLimit > 0 {
 		sys.SetStallLimit(stallLimit)
+	}
+	if check {
+		sys.EnableInvariantChecks(0)
 	}
 
 	o := &obs.Observer{SampleEvery: f.epochEvery}

@@ -22,7 +22,17 @@
 // results stay durable under -results-dir and -metrics-out still flushes);
 // -keep-going runs every job past failures and renders failed cells as
 // ERR; -job-timeout bounds each job's wall-clock time; -stall-cycles arms
-// the in-simulator forward-progress watchdog.
+// the in-simulator forward-progress watchdog; -check arms mid-run model
+// invariant verification on every simulation.
+//
+// Fault injection (see ROBUSTNESS.md, "Fault injection"): -chaos attaches
+// a deterministic fault schedule to the sweep's seams, e.g.
+//
+//	experiments -run fig3 -scale tiny -results-dir out -chaos "checkpoint.write:err@3;job.panic:gups"
+//
+// and -chaos-sweep N runs the self-checking harness: N seeded schedules
+// against a tiny fig3 sweep, each required to end clean or to fail
+// classified and resume to byte-identical tables.
 //
 // Exit codes: 0 success, 1 simulation failure (failing job labels on
 // stderr), 2 usage/config error, 130 interrupted by signal.
@@ -41,8 +51,10 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/csalt-sim/csalt/internal/chaos"
 	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/faultinject"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/telemetry"
 )
@@ -76,6 +88,10 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job wall-clock deadline (0 = none); an overrunning job fails, the sweep continues per -keep-going")
 		stallCycles = flag.Uint64("stall-cycles", 10_000_000, "in-simulator watchdog: fail a job if no instruction retires for this many simulated cycles (0 = off)")
 		retries     = flag.Int("retries", 0, "bounded retries for transient job failures")
+		check       = flag.Bool("check", false, "arm mid-run model invariant checking on every simulation (the cheap end-of-run pass always runs)")
+		chaosSpec   = flag.String("chaos", "", "deterministic fault-injection schedule, e.g. 'checkpoint.write:err@3;job.panic:gups' (see ROBUSTNESS.md)")
+		chaosSweep  = flag.Int("chaos-sweep", 0, "run the chaos harness: this many seeded fault schedules against a tiny fig3 sweep")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "base seed for -chaos-sweep schedules")
 		listen      = flag.String("listen", "", "serve the live telemetry plane on this address (e.g. localhost:9100): /metrics /healthz /readyz /events /runs")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -99,6 +115,11 @@ func main() {
 			artifact = ""
 		}
 		experiment.PaperTable(artifact).Render(os.Stdout)
+		return
+	}
+
+	if *chaosSweep > 0 {
+		runChaosSweep(*chaosSweep, *chaosSeed, *chaosSpec, *parallel)
 		return
 	}
 
@@ -144,15 +165,40 @@ func main() {
 	eng.Runner.StallLimit = *stallCycles
 	eng.Runner.MaxRetries = *retries
 	eng.Runner.RetryBackoff = 100 * time.Millisecond
+	eng.Runner.CheckInvariants = *check
+
+	var plane *faultinject.Plane
+	if *chaosSpec != "" {
+		sched, err := faultinject.Parse(*chaosSpec)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		plane = faultinject.New(sched)
+		eng.Runner.Chaos = plane
+	}
 
 	var store *checkpoint.Store
 	if *resultsDir != "" {
+		if *resume {
+			// Diagnose a damaged store up front: a benign torn tail (crash
+			// mid-append) is repaired by replay, anything else refuses to
+			// resume rather than silently dropping results.
+			fsck, err := checkpoint.Fsck(*resultsDir)
+			if err != nil {
+				usageFail("%v", err)
+			}
+			if fsck.TornTail > 0 {
+				fmt.Fprintf(os.Stderr, "fsck: torn %d-byte tail in %s (crash mid-append); truncating on replay\n",
+					fsck.TornTail, fsck.Path)
+			}
+		}
 		store, err = checkpoint.Open(*resultsDir, *resume)
 		if err != nil {
 			usageFail("%v", err)
 		}
 		defer store.Close()
 		eng.Runner.Store = store
+		store.SetChaos(plane)
 		if *resume && store.Replayed() > 0 {
 			fmt.Fprintf(os.Stderr, "resuming: %d completed results on record\n", store.Replayed())
 		}
@@ -173,6 +219,7 @@ func main() {
 		defer tel.Close()
 		tel.AttachEngine(eng)
 		tel.AttachRunner(eng.Runner)
+		tel.Events.SetChaos(plane)
 		if store != nil {
 			tel.AttachStore(store)
 		}
@@ -198,6 +245,11 @@ func main() {
 	execErr := eng.ExecuteContext(ctx, jobs)
 	rep.clear()
 	simElapsed := time.Since(start)
+
+	if plane != nil && plane.Fired() > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d faults injected:\n%s", plane.Fired(),
+			indentLines(plane.LogString(), "  "))
+	}
 
 	flushMetrics := func() {
 		if *metricsOut == "" {
@@ -249,6 +301,56 @@ func main() {
 	if execErr != nil {
 		os.Exit(exitSimFailure)
 	}
+}
+
+// runChaosSweep executes the self-checking fault-injection harness and
+// exits: 0 when every schedule lands in an allowed outcome, 1 on any
+// contract violation (an unclassifiable failure, a table that diverged
+// from the chaos-free golden bytes, a resume that could not reproduce
+// them).
+func runChaosSweep(runs int, seed uint64, spec string, parallel int) {
+	opts := chaos.Options{
+		Seed:    seed,
+		Runs:    runs,
+		Workers: parallel,
+		Log:     os.Stderr,
+	}
+	if spec != "" {
+		sched, err := faultinject.Parse(spec)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		opts.Schedule = sched
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := chaos.Sweep(ctx, opts)
+	if rep != nil {
+		fmt.Printf("chaos sweep: %d runs (%d clean, %d failed-and-resumed)\n",
+			len(rep.Runs), rep.Clean, rep.Resumed)
+		if len(rep.Classes) > 0 {
+			fmt.Printf("failure classes: %v\n", rep.Classes)
+		}
+		fmt.Printf("seam coverage (runs in which each point fired):\n%s", indentLines(rep.CoverageString(), "  "))
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "interrupted: %v\n", err)
+		os.Exit(exitInterrupted)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos sweep FAILED: %v\n", err)
+		os.Exit(exitSimFailure)
+	}
+}
+
+// indentLines prefixes every non-empty line, for block-quoted stderr dumps.
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // renderPartialTables prints every requested table whose full job list

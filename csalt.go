@@ -92,7 +92,7 @@ func Run(cfg Config) (*Results, error) {
 // ctx every few hundred steps and returns ctx.Err() (wrapped) once
 // cancelled, so SIGINT-driven shutdowns stop a long run promptly.
 func RunContext(ctx context.Context, cfg Config) (*Results, error) {
-	return runOne(ctx, cfg, 0)
+	return runOne(ctx, cfg, ManyOpts{})
 }
 
 // ManyOpts configures RunManyContext beyond the per-run Config: knobs
@@ -106,11 +106,16 @@ type ManyOpts struct {
 	// fails with a diagnostic queue dump instead of hanging the sweep.
 	// Zero disables the guard.
 	StallLimitCycles uint64
+	// CheckInvariants arms each run's opt-in structural invariant
+	// checkers (periodic mid-run conservation and partition audits) in
+	// addition to the cheap always-on end-of-run pass. A violated
+	// invariant fails that run with an invariant.Violation.
+	CheckInvariants bool
 }
 
 // runOne executes a single configuration with panic isolation: a panic
 // inside the simulator surfaces as this run's error, not a process crash.
-func runOne(ctx context.Context, cfg Config, stallLimit uint64) (res *Results, err error) {
+func runOne(ctx context.Context, cfg Config, o ManyOpts) (res *Results, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			stack := runtimedebug.Stack()
@@ -124,8 +129,11 @@ func runOne(ctx context.Context, cfg Config, stallLimit uint64) (res *Results, e
 	if err != nil {
 		return nil, err
 	}
-	if stallLimit > 0 {
-		s.SetStallLimit(stallLimit)
+	if o.StallLimitCycles > 0 {
+		s.SetStallLimit(o.StallLimitCycles)
+	}
+	if o.CheckInvariants {
+		s.EnableInvariantChecks(0)
 	}
 	return s.RunContext(ctx)
 }
@@ -176,7 +184,7 @@ func RunManyContext(ctx context.Context, cfgs []Config, o ManyOpts) ([]*Results,
 				if ctx.Err() != nil {
 					continue
 				}
-				res, err := runOne(ctx, cfgs[i], o.StallLimitCycles)
+				res, err := runOne(ctx, cfgs[i], o)
 				if err != nil {
 					if errors.Is(err, context.Canceled) {
 						continue // interrupted, not failed

@@ -69,6 +69,11 @@ type Probe struct {
 	Refs          uint64  `json:"refs"` // total measured references
 	Seconds       float64 `json:"seconds"`
 	MetricsDigest string  `json:"metrics_digest"` // sha256 of the registry snapshot JSON
+	// InvariantOverheadFrac prices the always-on model-invariant pass:
+	// the amortised cost of one end-of-run conservation pass as a
+	// fraction of one probe run's wall time (the pass runs exactly once
+	// per simulation). Zero when the overhead measurement was skipped.
+	InvariantOverheadFrac float64 `json:"invariant_overhead_frac,omitempty"`
 }
 
 // Regression is one gated slowdown.
@@ -206,6 +211,68 @@ func RunProbe(refsPerCore uint64) (*Probe, error) {
 		Seconds:       elapsed.Seconds(),
 		MetricsDigest: hex.EncodeToString(sum[:]),
 	}, nil
+}
+
+// MaxInvariantOverheadFrac is the acceptance bar for the cheap always-on
+// invariant checkers: their end-of-run conservation pass must cost less
+// than 2% of probe throughput, or the safety net is too expensive to
+// leave on by default.
+const MaxInvariantOverheadFrac = 0.02
+
+// MeasureInvariantOverhead prices the always-on invariant pass against
+// probe throughput. The pass runs exactly once per simulation (at end of
+// run), so the honest overhead fraction is (cost of one pass) / (wall
+// time of one run) — and that is what this measures: `rounds` timed
+// probe runs (best — minimum — wall time wins), then the conservation
+// pass iterated enough times to amortise timer noise out of its
+// per-pass cost. Differencing full checked-vs-unchecked run times
+// cannot resolve a 2% bar on a noisy host; timing the pass directly
+// can. rounds <= 0 selects 3. Note the measurement prices only the
+// default checking level; builds under the `invariants` tag also arm
+// periodic structural audits, which are opt-in precisely because they
+// are allowed to cost more.
+func MeasureInvariantOverhead(refsPerCore uint64, rounds int) (float64, error) {
+	if refsPerCore == 0 {
+		refsPerCore = DefaultProbeRefs
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	var (
+		runTime time.Duration
+		sys     *sim.System
+	)
+	for i := 0; i <= rounds; i++ {
+		s, err := sim.New(probeConfig(refsPerCore))
+		if err != nil {
+			return 0, fmt.Errorf("benchreg: building overhead-probe system: %w", err)
+		}
+		start := time.Now()
+		if _, err := s.Run(); err != nil {
+			return 0, fmt.Errorf("benchreg: overhead-probe run: %w", err)
+		}
+		d := time.Since(start)
+		if i == 0 {
+			continue // warmup run absorbs cold caches, untimed
+		}
+		if runTime == 0 || d < runTime {
+			runTime = d
+		}
+		sys = s
+	}
+
+	// Amortise the per-pass cost over many passes on the finished system;
+	// the closures read settled counters, so repeated passes are
+	// idempotent and each prices exactly what the end of a run pays.
+	const passes = 1000
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		if err := sys.CheckInvariants(); err != nil {
+			return 0, fmt.Errorf("benchreg: overhead probe tripped an invariant: %w", err)
+		}
+	}
+	perPass := time.Since(start) / passes
+	return float64(perPass) / float64(runTime), nil
 }
 
 // Compare returns every regression of cur against prev beyond threshold

@@ -174,3 +174,21 @@ func TestProbeDeterministicDigest(t *testing.T) {
 		t.Errorf("probe throughput implausible: %+v", p1)
 	}
 }
+
+// TestInvariantOverheadWithinBar prices the always-on invariant pass at a
+// reduced probe size and holds it to the acceptance bar: the end-of-run
+// conservation sweep is a handful of counter comparisons, so even on a
+// sub-second run its cost must stay under MaxInvariantOverheadFrac.
+func TestInvariantOverheadWithinBar(t *testing.T) {
+	frac, err := MeasureInvariantOverhead(60_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > MaxInvariantOverheadFrac {
+		t.Errorf("always-on invariant checks cost %.2f%% throughput, bar is %.0f%%",
+			frac*100, MaxInvariantOverheadFrac*100)
+	}
+	if frac < 0 {
+		t.Errorf("overhead fraction %.4f negative — measurement broken", frac)
+	}
+}

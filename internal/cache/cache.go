@@ -84,6 +84,9 @@ type Stats struct {
 	ByType     [numLineTypes]stats.HitRate
 	Insertions [numLineTypes]stats.Counter
 	Writebacks stats.Counter
+	// Lookups counts Lookup calls independently of the per-type hit/miss
+	// split, for the invariant layer's conservation cross-check.
+	Lookups stats.Counter
 }
 
 // Accesses returns total accesses across both types.
@@ -227,6 +230,7 @@ func (c *Cache) index(addr mem.PAddr) (set int, tag uint64) {
 // and the profiler. All ways are scanned regardless of the partition (§3.1
 // "Cache Lookup"). write marks the line dirty on a hit.
 func (c *Cache) Lookup(addr mem.PAddr, typ LineType, write bool) bool {
+	c.Stats.Lookups.Inc()
 	set, tag := c.index(addr)
 	base := set * c.ways
 	if c.profiler != nil && !c.profiler.Inline() {
@@ -426,6 +430,52 @@ func (c *Cache) TypeInWays() (dataInDataWays, dataInTLBWays, tlbInDataWays, tlbI
 	}
 	return
 }
+
+// CheckConservation verifies the cache's counter conservation law: the
+// per-type hits and misses must sum to the independent Lookups counter.
+// It returns a detail string when broken ("" while the invariant holds).
+func (c *Cache) CheckConservation() string {
+	var hm uint64
+	for t := range c.Stats.ByType {
+		hm += c.Stats.ByType[t].Accesses()
+	}
+	if l := c.Stats.Lookups.Value(); hm != l {
+		return fmt.Sprintf("per-type hits+misses(%d) != lookups(%d)", hm, l)
+	}
+	return ""
+}
+
+// CheckStructure verifies the cache's structural invariants: every
+// per-set valid count within associativity (implied by storage), total
+// occupancy within capacity, the two independent occupancy scans
+// (Occupancy and TypeInWays) in agreement, and the way partition summing
+// to the associativity with each type holding at least one way. It
+// returns a detail string when broken ("" while the invariants hold).
+func (c *Cache) CheckStructure() string {
+	tlbLines, valid := c.Occupancy()
+	if cap := c.sets * c.ways; valid > cap {
+		return fmt.Sprintf("occupancy %d exceeds capacity %d", valid, cap)
+	}
+	dd, dt, td, tt := c.TypeInWays()
+	if sum := dd + dt + td + tt; sum != valid {
+		return fmt.Sprintf("way-scan count %d != occupancy scan %d", sum, valid)
+	}
+	if byType := td + tt; byType != tlbLines {
+		return fmt.Sprintf("tlb way-scan count %d != tlb occupancy %d", byType, tlbLines)
+	}
+	if n := c.partition; n != Unpartitioned {
+		dataWays, tlbWays := n, c.ways-n
+		if dataWays < 1 || tlbWays < 1 || dataWays+tlbWays != c.ways {
+			return fmt.Sprintf("partition data(%d)+tlb(%d) != ways(%d)", dataWays, tlbWays, c.ways)
+		}
+	}
+	return ""
+}
+
+// CorruptPartitionForTest forces an out-of-range partition value,
+// bypassing SetPartition's clamping — the seeded bug the invariant layer
+// must catch. Tests and the sim.corrupt chaos point use it.
+func (c *Cache) CorruptPartitionForTest() { c.partition = c.ways + 1 }
 
 // Flush invalidates every line (used between experiment phases); dirty
 // contents are discarded, as the simulator tracks no data bytes.

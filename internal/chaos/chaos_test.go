@@ -1,0 +1,148 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+// TestSweepContract runs a batch of seeded schedules and requires every
+// run to land in an allowed outcome — the same assertion the CI chaos job
+// makes at larger seed counts.
+func TestSweepContract(t *testing.T) {
+	rep, err := Sweep(context.Background(), Options{Seed: 1, Runs: 12})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(rep.Runs) != 12 {
+		t.Fatalf("reported %d runs, want 12", len(rep.Runs))
+	}
+	if rep.Clean+rep.Resumed != 12 {
+		t.Errorf("outcomes clean=%d resumed=%d do not cover 12 runs", rep.Clean, rep.Resumed)
+	}
+	for _, r := range rep.Runs {
+		if r.Outcome != "clean" && r.Outcome != "resumed" {
+			t.Errorf("seed %d: outcome %q", r.Seed, r.Outcome)
+		}
+		if r.Outcome == "resumed" && r.Class == "" {
+			t.Errorf("seed %d: failed run with no class: %s", r.Seed, r.Err)
+		}
+	}
+}
+
+// TestSweepDeterminism is the `make race-chaos` core: the same seed and
+// schedule must reproduce the identical firing sequence and outcome, with
+// a single worker, run to run.
+func TestSweepDeterminism(t *testing.T) {
+	opts := Options{Seed: 4, Runs: 3, Workers: 1}
+	a, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	b, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	for i := range a.Runs {
+		ra, rb := a.Runs[i], b.Runs[i]
+		if ra.Schedule != rb.Schedule {
+			t.Errorf("seed %d: schedules differ: %q vs %q", ra.Seed, ra.Schedule, rb.Schedule)
+		}
+		if ra.Log != rb.Log {
+			t.Errorf("seed %d: firing logs differ:\n%s\nvs\n%s", ra.Seed, ra.Log, rb.Log)
+		}
+		if ra.Outcome != rb.Outcome || ra.Class != rb.Class {
+			t.Errorf("seed %d: outcome %s/%s vs %s/%s", ra.Seed, ra.Outcome, ra.Class, rb.Outcome, rb.Class)
+		}
+	}
+}
+
+// TestSweepOutcomeContractUnderParallelWorkers exercises the weaker
+// parallel-worker guarantee: firing ordinals may shift with interleaving,
+// but every run must still end clean or classified-and-resumable.
+func TestSweepOutcomeContractUnderParallelWorkers(t *testing.T) {
+	rep, err := Sweep(context.Background(), Options{Seed: 20, Runs: 6, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	if rep.Clean+rep.Resumed != 6 {
+		t.Errorf("outcomes do not cover all runs: %+v", rep)
+	}
+}
+
+// TestExplicitTornSchedule pins the full torn-write path: the injected
+// tear fails the sweep with a store-classified error, fsck flags the torn
+// tail, and the resume reproduces the golden bytes.
+func TestExplicitTornSchedule(t *testing.T) {
+	rep, err := Sweep(context.Background(), Options{
+		Schedule: faultinject.MustParse("store.torn:1"),
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	r := rep.Runs[0]
+	if r.Outcome != "resumed" || r.Class != "store" {
+		t.Fatalf("torn run = %s/%s (%s)", r.Outcome, r.Class, r.Err)
+	}
+	if !r.TornTail {
+		t.Error("fsck saw no torn tail after an injected torn write")
+	}
+	if !strings.Contains(r.Log, "store.torn") {
+		t.Errorf("firing log missing the tear:\n%s", r.Log)
+	}
+}
+
+// TestExplicitReadmeSchedule keeps the documented example schedule valid
+// end to end.
+func TestExplicitReadmeSchedule(t *testing.T) {
+	spec := "checkpoint.write:err@3;store.torn:1;job.panic:gups;worker.stall:2x50ms;telemetry.subscriber.slow:1"
+	rep, err := Sweep(context.Background(), Options{
+		Schedule: faultinject.MustParse(spec),
+	})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	r := rep.Runs[0]
+	if r.Outcome != "resumed" {
+		t.Fatalf("outcome = %s/%s", r.Outcome, r.Class)
+	}
+}
+
+func TestClassifyUnknownIsEmpty(t *testing.T) {
+	if c := Classify(nil); c != "" {
+		t.Errorf("Classify(nil) = %q", c)
+	}
+	if c := Classify(context.Canceled); c != "cancelled" {
+		t.Errorf("Classify(canceled) = %q", c)
+	}
+}
+
+// TestSeamCoverage sweeps enough seeds that every injection point must
+// fire at least once — the acceptance bar the nightly CI job holds at
+// 1000 seeds.
+func TestSeamCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-seed sweep")
+	}
+	rep, err := Sweep(context.Background(), Options{Seed: 1, Runs: 100})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for _, pt := range []string{
+		"checkpoint.write", "checkpoint.fsync", "store.torn",
+		"job.panic", "job.transient", "worker.stall",
+		"sim.stall", "sim.corrupt", "telemetry.subscriber.slow",
+	} {
+		if rep.Coverage[pt] == 0 {
+			t.Errorf("seam %s never fired in 100 seeds\ncoverage:\n%s", pt, rep.CoverageString())
+		}
+	}
+	// The failure classes the seams feed must all have appeared too.
+	for _, class := range []string{"panic", "store", "stall", "timeout", "invariant"} {
+		if rep.Classes[class] == 0 {
+			t.Errorf("class %s never produced: %+v", class, rep.Classes)
+		}
+	}
+}

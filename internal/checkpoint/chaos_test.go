@@ -1,0 +1,164 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+func TestInjectedWriteFailureIsStoreError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetChaos(faultinject.New(faultinject.MustParse("checkpoint.write:err")))
+
+	err = s.Put("k1", "v1")
+	var se *StoreError
+	if !errors.As(err, &se) {
+		t.Fatalf("Put error = %v, want *StoreError", err)
+	}
+	if se.Op != "append" || se.Key != "k1" || !strings.Contains(se.Path, FileName) {
+		t.Errorf("StoreError lost provenance: %+v", se)
+	}
+	if !strings.Contains(se.Error(), dir) || !strings.Contains(se.Error(), "k1") {
+		t.Errorf("rendered error names neither path nor key: %v", se)
+	}
+	// The failed record must not be in the index, and the next append
+	// (budget exhausted) must succeed.
+	var out string
+	if ok, _ := s.Lookup("k1", &out); ok {
+		t.Error("failed Put landed in the index")
+	}
+	if err := s.Put("k2", "v2"); err != nil {
+		t.Errorf("append after exhausted budget: %v", err)
+	}
+}
+
+func TestInjectedFsyncFailureIsStoreError(t *testing.T) {
+	s, err := Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetChaos(faultinject.New(faultinject.MustParse("checkpoint.fsync:err")))
+	err = s.Put("k", "v")
+	var se *StoreError
+	if !errors.As(err, &se) || se.Op != "sync" || se.Key != "k" {
+		t.Fatalf("fsync failure = %v, want sync StoreError for k", err)
+	}
+}
+
+func TestInjectedTornWriteIsRepairedOnResume(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("before", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetChaos(faultinject.New(faultinject.MustParse("store.torn:1")))
+	if err := s.Put("torn", "lost"); err == nil {
+		t.Fatal("torn write reported success")
+	}
+	s.Close()
+
+	// Fsck sees a benign torn tail, not corruption.
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if rep.Records != 1 || rep.TornTail == 0 {
+		t.Errorf("fsck = %+v, want 1 record and a torn tail", rep)
+	}
+
+	// Resume truncates the torn tail; the intact record survives, the torn
+	// key is absent, and the store accepts appends again.
+	s2, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var out string
+	if ok, _ := s2.Lookup("before", &out); !ok || out != "ok" {
+		t.Errorf("intact record lost: %q %v", out, ok)
+	}
+	if ok, _ := s2.Lookup("torn", &out); ok {
+		t.Error("torn record resurrected")
+	}
+	if err := s2.Put("after", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := s2.Fsck(); err != nil || rep.Records != 2 || rep.TornTail != 0 {
+		t.Errorf("post-repair fsck = %+v, %v", rep, err)
+	}
+}
+
+func TestFsckCleanStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.Close()
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 2 || rep.TornTail != 0 {
+		t.Errorf("fsck = %+v", rep)
+	}
+}
+
+func TestFsckDetectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", 1)
+	s.Put("b", 2)
+	s.Close()
+
+	// Garbage a middle line: an intact record after damage is corruption a
+	// single crash cannot produce.
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("store has %d lines", len(lines))
+	}
+	lines[1] = lines[1][:len(lines[1])/2]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fsck(dir); err == nil || !strings.Contains(err.Error(), "corrupt store") {
+		t.Errorf("mid-file corruption not detected: %v", err)
+	}
+}
+
+func TestFsckRejectsForeignHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName)
+	if err := os.WriteFile(path, []byte(`{"schema":"other","version":9}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fsck(dir); err == nil {
+		t.Error("foreign header accepted")
+	}
+	if _, err := Fsck(t.TempDir()); err == nil {
+		t.Error("missing store accepted")
+	}
+}

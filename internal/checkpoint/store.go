@@ -18,11 +18,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"github.com/csalt-sim/csalt/internal/faultinject"
 )
 
 // Schema identifies the record layout; bump Version whenever the meaning
@@ -54,9 +57,33 @@ type record struct {
 type Store struct {
 	mu      sync.Mutex
 	f       *os.File
+	path    string
 	entries map[string]json.RawMessage
 	loaded  int // records replayed from disk at Open
+	chaos   *faultinject.Plane
 }
+
+// StoreError is an append-path failure with full provenance: which
+// operation failed, on which store file, for which record key. Sweep
+// harnesses classify job failures on it (errors.As).
+type StoreError struct {
+	Op   string // "append", "sync"
+	Path string
+	Key  string // "" for the header line
+	Err  error
+}
+
+// Error names the operation, store path and key alongside the cause.
+func (e *StoreError) Error() string {
+	key := e.Key
+	if key == "" {
+		key = "<header>"
+	}
+	return fmt.Sprintf("checkpoint: %s failed on %s (key %s): %v", e.Op, e.Path, key, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StoreError) Unwrap() error { return e.Err }
 
 // KeyOf derives the stable identity of a value: the hex SHA-256 of its
 // canonical JSON encoding. Configurations marshal with a fixed field
@@ -89,7 +116,7 @@ func Open(dir string, resume bool) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: opening store: %w", err)
 	}
-	s := &Store{f: f, entries: make(map[string]json.RawMessage)}
+	s := &Store{f: f, path: path, entries: make(map[string]json.RawMessage)}
 
 	if err := s.replay(); err != nil {
 		f.Close()
@@ -107,7 +134,7 @@ func (s *Store) replay() error {
 	}
 	if info.Size() == 0 {
 		// Fresh store: write the header as the first line.
-		return s.writeLine(header{Schema: Schema, Version: Version})
+		return s.writeLine("", header{Schema: Schema, Version: Version})
 	}
 
 	sc := bufio.NewScanner(s.f)
@@ -150,19 +177,47 @@ func (s *Store) replay() error {
 }
 
 // writeLine appends v as one JSON line in a single Write call and syncs.
-func (s *Store) writeLine(v interface{}) error {
+// Every failure is wrapped in a *StoreError carrying the store path and
+// the record key, so a sweep's error output names the file and record
+// that lost durability — not just "sync failed". The fault-injection
+// plane, when attached, can fail the write, tear it mid-record, or fail
+// the sync (see ROBUSTNESS.md, "Fault injection").
+func (s *Store) writeLine(key string, v interface{}) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(v); err != nil { // Encode appends the newline
-		return fmt.Errorf("checkpoint: encoding record: %w", err)
+		return &StoreError{Op: "append", Path: s.path, Key: key, Err: fmt.Errorf("encoding record: %w", err)}
 	}
-	if _, err := s.f.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("checkpoint: appending record: %w", err)
+	line := buf.Bytes()
+	if _, fire := s.chaos.Fire(faultinject.StoreWrite, key); fire {
+		return &StoreError{Op: "append", Path: s.path, Key: key, Err: errors.New("injected write failure")}
+	}
+	if _, fire := s.chaos.Fire(faultinject.StoreTorn, key); fire {
+		// A torn write is a crash mid-append: half the record reaches the
+		// file. Write it for real — resume must truncate it — and fail.
+		if _, err := s.f.Write(line[:len(line)/2]); err != nil {
+			return &StoreError{Op: "append", Path: s.path, Key: key, Err: err}
+		}
+		return &StoreError{Op: "append", Path: s.path, Key: key, Err: errors.New("injected torn write")}
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return &StoreError{Op: "append", Path: s.path, Key: key, Err: err}
+	}
+	if _, fire := s.chaos.Fire(faultinject.StoreFsync, key); fire {
+		return &StoreError{Op: "sync", Path: s.path, Key: key, Err: errors.New("injected fsync failure")}
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: syncing store: %w", err)
+		return &StoreError{Op: "sync", Path: s.path, Key: key, Err: err}
 	}
 	return nil
+}
+
+// SetChaos attaches a fault-injection plane to the append path; nil
+// detaches. Call before the sweep starts.
+func (s *Store) SetChaos(p *faultinject.Plane) {
+	s.mu.Lock()
+	s.chaos = p
+	s.mu.Unlock()
 }
 
 // Put durably appends one completed result under key. Re-putting a key
@@ -175,7 +230,7 @@ func (s *Store) Put(key string, v interface{}) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.writeLine(record{Key: key, Value: raw}); err != nil {
+	if err := s.writeLine(key, record{Key: key, Value: raw}); err != nil {
 		return err
 	}
 	s.entries[key] = raw
@@ -223,6 +278,87 @@ func (s *Store) Replayed() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.loaded
+}
+
+// FsckReport summarises a store file's integrity as Fsck saw it.
+type FsckReport struct {
+	Path     string
+	Records  int   // intact records after the header
+	TornTail int64 // bytes in a torn/garbage trailing region (0 = clean)
+}
+
+// Fsck validates the store file inside dir without opening it for
+// writing: the header must parse and match this binary's schema/version,
+// and every line after it must be an intact record. A torn *trailing*
+// region (the crash case Open repairs by truncation) is reported via
+// TornTail, not as an error; a garbage line *followed by intact records*
+// is real corruption — an append happened after a tear, which the
+// single-writer protocol makes impossible — and is an error. -resume
+// runs this before replay so a damaged store is diagnosed up front.
+func Fsck(dir string) (*FsckReport, error) {
+	path := filepath.Join(dir, FileName)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck: %w", err)
+	}
+	defer f.Close()
+	return fsckFile(f, path)
+}
+
+// Fsck re-validates the open store's file from the start; see the
+// package-level Fsck for the checks performed.
+func (s *Store) Fsck() (*FsckReport, error) {
+	s.mu.Lock()
+	path := s.path
+	s.mu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck: %w", err)
+	}
+	defer f.Close()
+	return fsckFile(f, path)
+}
+
+func fsckFile(f *os.File, path string) (*FsckReport, error) {
+	rep := &FsckReport{Path: path}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("checkpoint: fsck %s: %w", path, err)
+		}
+		return nil, fmt.Errorf("checkpoint: fsck %s: store has no header line", path)
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck %s: unreadable header: %w", path, err)
+	}
+	if h.Schema != Schema || h.Version != Version {
+		return nil, fmt.Errorf("checkpoint: fsck %s: store is %s/v%d, this binary writes %s/v%d",
+			path, h.Schema, h.Version, Schema, Version)
+	}
+	var torn int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+			if torn > 0 {
+				// Two damaged regions cannot come from one crash.
+				return nil, fmt.Errorf("checkpoint: fsck %s: multiple torn regions (corrupt store)", path)
+			}
+			torn = int64(len(line) + 1)
+			continue
+		}
+		if torn > 0 {
+			return nil, fmt.Errorf("checkpoint: fsck %s: intact record after a torn line (corrupt store)", path)
+		}
+		rep.Records++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: fsck %s: %w", path, err)
+	}
+	rep.TornTail = torn
+	return rep, nil
 }
 
 // Close syncs and closes the underlying file; the store is unusable after.

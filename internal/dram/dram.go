@@ -161,6 +161,22 @@ func (d *DRAM) Access(now uint64, addr mem.PAddr, write bool) uint64 {
 	return done
 }
 
+// CheckConservation verifies the request-accounting law: every access is
+// either a buffered write or a read that classified into exactly one row
+// outcome, so Accesses == Writes + RowHits + RowEmpty + RowConflicts —
+// the queue's in == out + inflight with the simulator's instantaneous
+// request retirement (no request is ever left unclassified in a queue).
+// It returns a detail string when broken ("" while the invariant holds).
+func (d *DRAM) CheckConservation() string {
+	acc := d.Stats.Accesses.Value()
+	wr := d.Stats.Writes.Value()
+	rows := d.Stats.RowHits.Value() + d.Stats.RowEmpty.Value() + d.Stats.RowConflicts.Value()
+	if acc != wr+rows {
+		return fmt.Sprintf("accesses(%d) != writes(%d)+row outcomes(%d)", acc, wr, rows)
+	}
+	return ""
+}
+
 // RegisterMetrics publishes the device's counters and the queue-wait
 // distribution into an observability group. Closures keep the reads live
 // (see cpu.RegisterMetrics).

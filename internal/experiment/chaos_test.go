@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/invariant"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+func TestDeadlineNeverTransient(t *testing.T) {
+	if !IsTransient(&TransientError{Err: errors.New("io")}) {
+		t.Error("plain transient not retryable")
+	}
+	// A deadline expiry stays non-retryable even when wrapped in (or
+	// wrapping) a Transient marker — retrying a job that ran out of
+	// wall-clock budget would spend the budget again.
+	if IsTransient(&TransientError{Err: context.DeadlineExceeded}) {
+		t.Error("transient-wrapped deadline classified retryable")
+	}
+	if IsTransient(fmt.Errorf("job: %w", &TransientError{Err: fmt.Errorf("ctx: %w", context.DeadlineExceeded)})) {
+		t.Error("nested deadline classified retryable")
+	}
+	if IsTransient(context.DeadlineExceeded) {
+		t.Error("bare deadline classified retryable")
+	}
+}
+
+func TestWatchdogHitJobIsNeverRetried(t *testing.T) {
+	r := NewRunner(microScale)
+	r.MaxRetries = 3
+	var calls atomic.Int64
+	r.simulateHook = func(context.Context, sim.Config) (*sim.Results, error) {
+		calls.Add(1)
+		return nil, &TransientError{Err: fmt.Errorf("watchdog: %w", context.DeadlineExceeded)}
+	}
+	if _, err := r.Run(microScale.BaseConfig()); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("deadline-hit job attempted %d times, want 1", calls.Load())
+	}
+}
+
+func TestChaosJobPanicIsolated(t *testing.T) {
+	r := NewRunner(microScale)
+	r.Chaos = faultinject.New(faultinject.MustParse("job.panic:1@1"))
+	_, err := r.Run(microScale.BaseConfig())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("injected panic surfaced as %v, want *PanicError", err)
+	}
+	if r.Chaos.Fired() != 1 {
+		t.Errorf("panic point fired %d times", r.Chaos.Fired())
+	}
+}
+
+func TestChaosTransientRetriedToSuccess(t *testing.T) {
+	r := NewRunner(microScale)
+	r.Chaos = faultinject.New(faultinject.MustParse("job.transient:1"))
+	r.MaxRetries = 2
+	var calls atomic.Int64
+	r.simulateHook = func(context.Context, sim.Config) (*sim.Results, error) {
+		calls.Add(1)
+		return &sim.Results{}, nil
+	}
+	if _, err := r.Run(microScale.BaseConfig()); err != nil {
+		t.Fatalf("retry did not recover injected transient: %v", err)
+	}
+	// Attempt 1 fails at the injection point (before the hook); attempt 2
+	// reaches the simulation.
+	if calls.Load() != 1 {
+		t.Errorf("simulation ran %d times, want 1", calls.Load())
+	}
+	if r.NumRuns() != 2 {
+		t.Errorf("NumRuns = %d, want 2 attempts", r.NumRuns())
+	}
+}
+
+func TestChaosWorkerStallTripsJobTimeout(t *testing.T) {
+	eng := NewEngine(microScale, 1)
+	eng.JobTimeout = 50 * time.Millisecond
+	eng.Runner.Chaos = faultinject.New(faultinject.MustParse("worker.stall:1x1m@1"))
+	eng.Runner.MaxRetries = 3
+	start := time.Now()
+	err := eng.Execute([]Job{{Config: microScale.BaseConfig(), Experiments: []string{"t"}}})
+	if err == nil {
+		t.Fatal("stalled job did not fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stall surfaced as %v, want deadline", err)
+	}
+	// The deadline must both cancel the minute-long stall promptly and
+	// suppress retries (a retried stall would wait out another deadline).
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stalled job held its worker for %v", elapsed)
+	}
+	if eng.Runner.NumRuns() != 1 {
+		t.Errorf("stalled job attempted %d times, want 1", eng.Runner.NumRuns())
+	}
+}
+
+// An invariant violation under KeepGoing must poison exactly the
+// corrupted configuration's cells: the table renders with ERR where the
+// violating run's numbers would be, healthy rows intact, and the recorded
+// failure is the Violation.
+func TestInvariantViolationRendersAsErrCell(t *testing.T) {
+	eng := NewEngine(microScale, 1)
+	eng.KeepGoing = true
+	// Poll ordinal 40 lands inside the first job, past its warmup reset.
+	eng.Runner.Chaos = faultinject.New(faultinject.MustParse("sim.corrupt:1@40"))
+	exp, ok := ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	table, err := eng.Run(exp)
+	if err == nil {
+		t.Fatal("corrupted run reported no failure")
+	}
+	if table == nil {
+		t.Fatal("keep-going rendered no table")
+	}
+	s := table.String()
+	if !strings.Contains(s, "ERR") {
+		t.Errorf("no ERR cell in table:\n%s", s)
+	}
+	if lines := strings.Count(s, "ERR"); lines > 2 {
+		t.Errorf("violation poisoned more than its own row (%d ERR cells):\n%s", lines, s)
+	}
+	if eng.Runner.NumFailed() != 1 {
+		t.Errorf("NumFailed = %d, want 1", eng.Runner.NumFailed())
+	}
+	var verr error
+	for _, cfg := range exp.Jobs(microScale) {
+		if ferr := eng.Runner.FailureOf(cfg); ferr != nil {
+			verr = ferr
+		}
+	}
+	if _, ok := invariant.IsViolation(verr); !ok {
+		t.Errorf("recorded failure is not a Violation: %v", verr)
+	}
+}
+
+func TestChaosKeyFormat(t *testing.T) {
+	cfg := microScale.BaseConfig()
+	key := chaosKey(cfg)
+	want := fmt.Sprintf("%s/%s/%s", cfg.Mix.ID, cfg.Org, cfg.Scheme)
+	if key != want {
+		t.Errorf("chaosKey = %q, want %q", key, want)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/faultinject"
 	"github.com/csalt-sim/csalt/internal/sim"
 	"github.com/csalt-sim/csalt/internal/stats"
 )
@@ -146,6 +147,18 @@ type Runner struct {
 	// immediately.
 	RetryBackoff time.Duration
 
+	// Chaos, when non-nil, attaches the deterministic fault-injection
+	// plane: scheduled worker panics, transient failures and worker
+	// stalls fire inside simulateOnce, and the plane rides into each
+	// system for the sim.stall / sim.corrupt points. Job keys are
+	// "<mix>/<org>/<scheme>" (see ROBUSTNESS.md, "Fault injection").
+	Chaos *faultinject.Plane
+
+	// CheckInvariants arms mid-run periodic invariant checking on every
+	// system built by this runner (the -check flag); the cheap end-of-run
+	// conservation pass runs regardless.
+	CheckInvariants bool
+
 	// simulateHook, when non-nil, replaces the actual simulation — the
 	// fault-injection point for the engine's panic/cancel/retry tests.
 	simulateHook func(ctx context.Context, cfg sim.Config) (*sim.Results, error)
@@ -186,8 +199,14 @@ func (e *TransientError) Unwrap() error { return e.Err }
 func (e *TransientError) Transient() bool { return true }
 
 // IsTransient reports whether err is marked retryable anywhere along its
-// Unwrap chain.
+// Unwrap chain. Deadline expiry is categorically non-transient, even when
+// a Transient marker appears in the same chain: a job that exhausted its
+// wall-clock budget would do it again on retry, doubling the budget the
+// -job-timeout flag was supposed to cap.
 func IsTransient(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var t interface{ Transient() bool }
 	return errors.As(err, &t) && t.Transient()
 }
@@ -329,6 +348,24 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 	r.mu.Lock()
 	r.runs++
 	r.mu.Unlock()
+	key := chaosKey(cfg)
+	if f, ok := r.Chaos.Fire(faultinject.JobPanic, key); ok {
+		panic(fmt.Sprintf("chaos: injected worker panic (%s)", f))
+	}
+	if f, ok := r.Chaos.Fire(faultinject.JobTransient, key); ok {
+		return nil, &TransientError{Err: fmt.Errorf("chaos: injected transient failure (%s)", f)}
+	}
+	if f, ok := r.Chaos.Fire(faultinject.WorkerStall, key); ok {
+		// Model a wedged worker: hold the job for the injected duration. A
+		// stall outlasting the per-job deadline must trip the -job-timeout
+		// watchdog; a shorter one is just a slow worker and the job
+		// proceeds normally.
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiment: stalled job %s cancelled (%s): %w", key, f, ctx.Err())
+		case <-time.After(f.Dur):
+		}
+	}
 	if r.simulateHook != nil {
 		return r.simulateHook(ctx, cfg)
 	}
@@ -339,6 +376,10 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 	if r.StallLimit > 0 {
 		sys.SetStallLimit(r.StallLimit)
 	}
+	if r.CheckInvariants {
+		sys.EnableInvariantChecks(0)
+	}
+	sys.SetChaos(r.Chaos, key)
 	if r.Observe != nil {
 		r.Observe(sys)
 	}
@@ -349,6 +390,12 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 		defer r.ObserveDone(sys)
 	}
 	return sys.RunContext(ctx)
+}
+
+// chaosKey labels a job for fault-injection rule matching; the same
+// string appears in firing logs and ROBUSTNESS.md examples.
+func chaosKey(cfg sim.Config) string {
+	return fmt.Sprintf("%s/%s/%s", cfg.Mix.ID, cfg.Org, cfg.Scheme)
 }
 
 // trimStack captures the current goroutine stack, truncated to a readable

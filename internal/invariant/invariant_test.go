@@ -1,0 +1,84 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestViolationError(t *testing.T) {
+	v := Violationf("tlb.l1.conservation", "hits(%d)+misses(%d) != lookups(%d)", 3, 4, 8)
+	want := "invariant violated: tlb.l1.conservation: hits(3)+misses(4) != lookups(8)"
+	if v.Error() != want {
+		t.Errorf("Error() = %q, want %q", v.Error(), want)
+	}
+}
+
+func TestIsViolation(t *testing.T) {
+	v := &Violation{Check: "c", Detail: "d"}
+	wrapped := fmt.Errorf("job failed: %w", v)
+	got, ok := IsViolation(wrapped)
+	if !ok || got.Check != "c" {
+		t.Errorf("IsViolation(wrapped) = %v, %v", got, ok)
+	}
+	if _, ok := IsViolation(errors.New("plain")); ok {
+		t.Error("plain error classified as violation")
+	}
+	if _, ok := IsViolation(nil); ok {
+		t.Error("nil classified as violation")
+	}
+}
+
+func TestSetCheck(t *testing.T) {
+	s := NewSet()
+	calls := 0
+	s.Register("ok", func() *Violation { calls++; return nil })
+	s.Register("bad-a", func() *Violation { return &Violation{Check: "bad-a", Detail: "x"} })
+	s.Register("bad-b", func() *Violation { return &Violation{Check: "bad-b", Detail: "y"} })
+	err := s.Check()
+	if err == nil {
+		t.Fatal("violations not reported")
+	}
+	if calls != 1 {
+		t.Errorf("healthy check ran %d times", calls)
+	}
+	// Both violations must survive the join, in registration order.
+	msg := err.Error()
+	if !strings.Contains(msg, "bad-a") || !strings.Contains(msg, "bad-b") {
+		t.Errorf("joined error lost a violation: %q", msg)
+	}
+	if strings.Index(msg, "bad-a") > strings.Index(msg, "bad-b") {
+		t.Errorf("violations out of registration order: %q", msg)
+	}
+	if v, ok := IsViolation(err); !ok || v.Check != "bad-a" {
+		t.Errorf("IsViolation on joined = %v, %v", v, ok)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len() = %d", s.Len())
+	}
+}
+
+func TestSetEmptyAndNames(t *testing.T) {
+	s := NewSet()
+	if err := s.Check(); err != nil {
+		t.Errorf("empty set: %v", err)
+	}
+	s.Register("b", func() *Violation { return nil })
+	s.Register("a", func() *Violation { return nil })
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	s := NewSet()
+	s.Register("x", func() *Violation { return nil })
+	s.Register("x", func() *Violation { return nil })
+}

@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package sim
+
+// invariantsTagEnabled arms periodic invariant checking for every system
+// when the `invariants` build tag is set (`go test -tags=invariants ./...`
+// runs the whole suite with mid-run self-verification). The default build
+// keeps only the always-on end-of-run conservation pass.
+const invariantsTagEnabled = false

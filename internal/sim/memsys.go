@@ -465,23 +465,22 @@ func (m *memSystem) resetStats() {
 	for i := range m.l1d {
 		m.l1d[i].ResetStats()
 		m.l2[i].ResetStats()
-		m.l1tlb[i].Accesses.Reset()
-		m.l1tlb2[i].Accesses.Reset()
-		m.l2tlb[i].Accesses.Reset()
+		m.l1tlb[i].ResetStats()
+		m.l1tlb2[i].ResetStats()
+		m.l2tlb[i].ResetStats()
 		m.walkers[i].Stats = walker.Stats{}
 	}
 	m.l3.ResetStats()
 	m.ddr.Stats = dram.Stats{}
 	m.stacked.Stats = dram.Stats{}
 	if m.pom != nil {
-		m.pom.Accesses.Reset()
-		m.pom.Inserts = 0
+		m.pom.ResetStats()
 	}
 	for _, t := range m.gtsb {
-		t.Accesses.Reset()
+		t.ResetStats()
 	}
 	for _, t := range m.htsb {
-		t.Accesses.Reset()
+		t.ResetStats()
 	}
 	m.Stats = memStats{}
 }

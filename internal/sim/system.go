@@ -43,6 +43,11 @@ type System struct {
 
 	// Forward-progress watchdog (disabled unless SetStallLimit was called).
 	dog watchdog
+
+	// Fault injection and runtime self-verification (see invariant.go).
+	// Zero values cost one nil compare per watchdog poll.
+	chaos chaosState
+	inv   invState
 }
 
 // New builds a System from cfg.
@@ -55,6 +60,9 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, mem: ms}
+	if invariantsTagEnabled {
+		s.EnableInvariantChecks(0)
+	}
 
 	// One VM per context slot; slots alternate between the mix's two
 	// benchmarks (a 4-context run co-schedules two instances of each).
@@ -163,6 +171,9 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 			if err := s.checkStall(); err != nil {
 				return nil, err
 			}
+			if err := s.checkPeriodic(); err != nil {
+				return nil, err
+			}
 		}
 		// Pick the active core with the smallest clock.
 		var next *cpu.Core
@@ -213,6 +224,12 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 	}
 	for _, c := range s.cores {
 		c.Drain()
+	}
+	// Always-on self-verification: a run whose counters violate a
+	// conservation law fails rather than reporting plausible-looking
+	// numbers (see ROBUSTNESS.md, "Model invariants").
+	if err := s.CheckInvariants(); err != nil {
+		return nil, err
 	}
 	return s.collect(), nil
 }

@@ -40,6 +40,12 @@ type watchdog struct {
 	lastInstr    uint64
 	lastProgress uint64 // cycle at the last poll that saw retirement
 	primed       bool
+	// chaosStall, when set by the fault-injection plane (sim.stall),
+	// models a livelock: the watchdog sees a frozen retirement counter
+	// and a clock already past the limit, so the standard detection path
+	// — including the diagnostic dump — fires on the next poll. It has
+	// no effect while the watchdog is disabled (limit 0) or unprimed.
+	chaosStall bool
 }
 
 // SetStallLimit arms the in-simulator forward-progress guard: if no core
@@ -77,6 +83,10 @@ func (s *System) checkStall() error {
 	}
 	instr := s.instrTotal()
 	cycle := s.maxCycle()
+	if s.dog.chaosStall && s.dog.primed {
+		instr = s.dog.lastInstr
+		cycle = s.dog.lastProgress + s.dog.limit + 1
+	}
 	if !s.dog.primed || instr != s.dog.lastInstr {
 		s.dog.primed = true
 		s.dog.lastInstr = instr

@@ -1,6 +1,10 @@
 package telemetry
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
 
 // Event is one server-sent event: a type tag plus a single-line JSON
 // payload (json.Marshal output never contains raw newlines, which keeps
@@ -26,6 +30,7 @@ type Broadcaster struct {
 	published uint64
 	dropped   uint64
 	closed    bool
+	chaos     *faultinject.Plane
 }
 
 // Subscription is one subscriber's bounded event feed. Receive from C;
@@ -79,6 +84,16 @@ func (s *Subscription) Dropped() uint64 {
 	return s.dropped
 }
 
+// SetChaos attaches the fault-injection plane: each firing of the
+// telemetry.subscriber.slow point registers a permanently stuck
+// subscriber (buffer one, never drained), exercising the never-block
+// drop path under load exactly the way a wedged curl would.
+func (b *Broadcaster) SetChaos(p *faultinject.Plane) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.chaos = p
+}
+
 // Publish delivers ev to every subscriber that has room, dropping (and
 // counting) it for the rest. It never blocks.
 func (b *Broadcaster) Publish(ev Event) {
@@ -86,6 +101,13 @@ func (b *Broadcaster) Publish(ev Event) {
 	defer b.mu.Unlock()
 	if b.closed {
 		return
+	}
+	if _, ok := b.chaos.Fire(faultinject.TelemetrySlow, ev.Type); ok {
+		// A stuck subscriber: one slot that nothing ever reads. The first
+		// event lands, every later one is dropped and counted.
+		stuck := &Subscription{b: b, c: make(chan Event, 1)}
+		stuck.C = stuck.c
+		b.subs[stuck] = struct{}{}
 	}
 	b.published++
 	for sub := range b.subs {

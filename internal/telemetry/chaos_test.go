@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/invariant"
+)
+
+// An invariant violation reported through the engine's progress path must
+// degrade /healthz and /readyz with the failing check as the reason.
+func TestReadyzDegradesOnInvariantViolation(t *testing.T) {
+	srv := NewServer()
+	eng := experiment.NewEngine(microScale, 1)
+	srv.AttachEngine(eng)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Health.SetReady(true)
+
+	v := invariant.Violationf("tlb.l1d0.conservation", "hits(9)+misses(1) != lookups(9)")
+	eng.Progress(experiment.Progress{
+		Done: 1, Total: 5, Failed: 1, Label: "fig3 gups pom/none",
+		Err: fmt.Errorf("%s: %w", "fig3 gups pom/none", v),
+	})
+
+	resp, body := get(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after violation: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(body, "invariant violated") || !strings.Contains(body, "tlb.l1d0.conservation") {
+		t.Errorf("degradation reason = %q, want invariant + check name", body)
+	}
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Error("/healthz not degraded alongside /readyz")
+	}
+}
+
+// The telemetry.subscriber.slow chaos point injects subscribers that
+// never drain; publishers must keep publishing, counting drops, and
+// healthy subscribers must see every event.
+func TestChaosStuckSubscriberNeverBlocksPublish(t *testing.T) {
+	b := NewBroadcaster()
+	defer b.Close()
+	b.SetChaos(faultinject.New(faultinject.MustParse("telemetry.subscriber.slow:2")))
+	healthy := b.Subscribe(64)
+
+	const events = 20
+	for i := 0; i < events; i++ {
+		b.Publish(Event{Type: "job", Data: []byte(fmt.Sprint(i))})
+	}
+	for i := 0; i < events; i++ {
+		ev := <-healthy.C
+		if string(ev.Data) != fmt.Sprint(i) {
+			t.Fatalf("healthy subscriber event %d = %q", i, ev.Data)
+		}
+	}
+	if healthy.Dropped() != 0 {
+		t.Errorf("healthy subscriber dropped %d events", healthy.Dropped())
+	}
+	// Two stuck subscribers (buffer 1 each, injected on publishes 1 and
+	// 2): the first buffers one event and drops the rest; the second
+	// likewise from its injection point on.
+	if got := b.Subscribers(); got != 3 {
+		t.Errorf("subscriber count = %d, want healthy + 2 stuck", got)
+	}
+	if b.Dropped() == 0 {
+		t.Error("stuck subscribers recorded no drops")
+	}
+	if b.Published() != events {
+		t.Errorf("published = %d, want %d", b.Published(), events)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/invariant"
 	"github.com/csalt-sim/csalt/internal/sim"
 )
 
@@ -27,15 +28,21 @@ func (s *Server) AttachEngine(eng *experiment.Engine) {
 	})
 }
 
-// classifyFailure degrades health for deterministic forward-progress
-// failures. Stalls and deadline overruns mean a configuration cannot make
-// progress — a restart reproduces them — so the process stops reporting
-// healthy; ordinary model errors (bad config, trace ended) do not.
+// classifyFailure degrades health for deterministic forward-progress and
+// self-verification failures. Stalls and deadline overruns mean a
+// configuration cannot make progress, and an invariant violation means
+// the model's own counters disagree — a restart reproduces both — so the
+// process stops reporting healthy; ordinary model errors (bad config,
+// trace ended) do not.
 func (s *Server) classifyFailure(label string, err error) {
 	if err == nil {
 		return
 	}
 	var stall *sim.StallError
+	if v, ok := invariant.IsViolation(err); ok {
+		s.Health.Degrade(fmt.Sprintf("invariant violated on %s: %s", label, v.Check))
+		return
+	}
 	switch {
 	case errors.As(err, &stall):
 		s.Health.Degrade(fmt.Sprintf("stall watchdog fired on %s: no retirement for %d cycles",

@@ -32,6 +32,9 @@ type POM struct {
 
 	Accesses stats.HitRate
 	Inserts  stats.Counter
+	// Lookups counts Lookup/LookupAnySize calls independently of the
+	// hit/miss split, for the invariant layer's conservation cross-check.
+	Lookups stats.Counter
 }
 
 // SetTrace attaches an event tracer; nil detaches.
@@ -135,6 +138,7 @@ func (p *POM) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, b
 // Lookup checks for a 4 KB translation of (v, asid); most deployments
 // (virtualized, 4 KB-granular host frames) only use this probe.
 func (p *POM) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
+	p.Lookups.Inc()
 	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
 		p.Accesses.Hit()
 		return frame, true
@@ -147,6 +151,7 @@ func (p *POM) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
 // Native huge-page systems use it; the second probe costs a second line
 // fetch, which the caller charges via LineAddrSized.
 func (p *POM) LookupAnySize(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool) {
+	p.Lookups.Inc()
 	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
 		p.Accesses.Hit()
 		return frame, mem.Page4K, true
@@ -207,6 +212,24 @@ func (p *POM) InsertSizedAt(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PA
 	p.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: p.next, valid: true}
 	p.Inserts.Inc()
 	p.tr.POMFill(now, uint64(asid), vpn)
+}
+
+// ResetStats zeroes the hit/miss/insert/lookup counters together (warmup
+// boundary), keeping the Lookups == Hits+Misses conservation intact.
+func (p *POM) ResetStats() {
+	p.Accesses.Reset()
+	p.Inserts = 0
+	p.Lookups = 0
+}
+
+// CheckConservation verifies Hits+Misses == Lookups, returning a detail
+// string when broken ("" while the invariant holds).
+func (p *POM) CheckConservation() string {
+	h, m, l := p.Accesses.Hits.Value(), p.Accesses.Misses.Value(), p.Lookups.Value()
+	if h+m != l {
+		return fmt.Sprintf("hits(%d)+misses(%d) != lookups(%d)", h, m, l)
+	}
+	return ""
 }
 
 // Utilization returns the fraction of POM entries currently valid.

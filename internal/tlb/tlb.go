@@ -45,6 +45,9 @@ type TLB struct {
 	next    uint64
 
 	Accesses stats.HitRate
+	// Lookups counts Lookup calls independently of the hit/miss split, so
+	// the invariant layer can cross-check Hits+Misses == Lookups.
+	Lookups stats.Counter
 }
 
 // New builds a TLB from cfg; entries must divide evenly into power-of-two
@@ -113,6 +116,7 @@ func (t *TLB) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, b
 // Lookup translates v for asid, probing 4 KB then 2 MB entries. It returns
 // the page frame and the matched page size.
 func (t *TLB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool) {
+	t.Lookups.Inc()
 	if frame, ok := t.probe(v, asid, mem.Page4K); ok {
 		t.Accesses.Hit()
 		return frame, mem.Page4K, true
@@ -148,6 +152,23 @@ func (t *TLB) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageS
 	}
 	t.next++
 	t.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: t.next, valid: true}
+}
+
+// ResetStats zeroes the hit/miss/lookup counters together (warmup
+// boundary), keeping the Lookups == Hits+Misses conservation intact.
+func (t *TLB) ResetStats() {
+	t.Accesses.Reset()
+	t.Lookups = 0
+}
+
+// CheckConservation verifies Hits+Misses == Lookups, returning a detail
+// string when broken ("" while the invariant holds).
+func (t *TLB) CheckConservation() string {
+	h, m, l := t.Accesses.Hits.Value(), t.Accesses.Misses.Value(), t.Lookups.Value()
+	if h+m != l {
+		return fmt.Sprintf("hits(%d)+misses(%d) != lookups(%d)", h, m, l)
+	}
+	return ""
 }
 
 // FlushASID invalidates every entry of one address space (not used on

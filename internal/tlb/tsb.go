@@ -23,6 +23,9 @@ type TSB struct {
 	frames  []mem.PAddr
 
 	Accesses stats.HitRate
+	// Lookups counts Lookup calls independently of the hit/miss split,
+	// for the invariant layer's conservation cross-check.
+	Lookups stats.Counter
 }
 
 // tsbEntryBytes is the size of one translation entry (a SPARC TTE).
@@ -78,6 +81,7 @@ func (t *TSB) EntryAddr(v mem.VAddr, asid mem.ASID) mem.PAddr {
 
 // Lookup checks the direct-mapped slot for (v, asid).
 func (t *TSB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
+	t.Lookups.Inc()
 	vpn := mem.PageNumber(v, mem.Page4K)
 	idx := t.index(vpn, asid)
 	if t.tags[idx] == t.key(vpn, asid) {
@@ -86,6 +90,23 @@ func (t *TSB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
 	}
 	t.Accesses.Miss()
 	return 0, false
+}
+
+// ResetStats zeroes the hit/miss/lookup counters together (warmup
+// boundary), keeping the Lookups == Hits+Misses conservation intact.
+func (t *TSB) ResetStats() {
+	t.Accesses.Reset()
+	t.Lookups = 0
+}
+
+// CheckConservation verifies Hits+Misses == Lookups, returning a detail
+// string when broken ("" while the invariant holds).
+func (t *TSB) CheckConservation() string {
+	h, m, l := t.Accesses.Hits.Value(), t.Accesses.Misses.Value(), t.Lookups.Value()
+	if h+m != l {
+		return fmt.Sprintf("hits(%d)+misses(%d) != lookups(%d)", h, m, l)
+	}
+	return ""
 }
 
 // Insert installs (v, asid)→frame, displacing whatever conflicted there —

@@ -63,6 +63,11 @@ type Stats struct {
 	PSCHits     stats.Counter
 	NestedHits  stats.Counter
 	NestedWalks stats.Counter // host walks triggered by guest-PTE refs
+	// WalksCompleted and WalkErrors partition Walks by outcome, so the
+	// invariant layer can verify no walk is started and then lost:
+	// Walks == WalksCompleted + WalkErrors at any walk boundary.
+	WalksCompleted stats.Counter
+	WalkErrors     stats.Counter
 	// WalkCyclesHist is the log2 distribution of per-walk latency; the mean
 	// alone hides the 2-D walk's long tail.
 	WalkCyclesHist stats.Log2Histogram
@@ -252,11 +257,21 @@ type Result struct {
 // virtualized ones. It returns the completion time and the final
 // host-physical frame.
 func (w *Walker) Walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
+	w.Stats.Walks.Inc()
+	res, err := w.walk(now, v, asid)
+	if err != nil {
+		w.Stats.WalkErrors.Inc()
+	} else {
+		w.Stats.WalksCompleted.Inc()
+	}
+	return res, err
+}
+
+func (w *Walker) walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 	s, ok := w.spaces[asid]
 	if !ok {
 		return Result{}, fmt.Errorf("walker: no address space registered for ASID %d", asid)
 	}
-	w.Stats.Walks.Inc()
 
 	level, hit := w.pscStart(&w.guestPSC, asid, v, s.Guest.Levels())
 	t := now + w.cfg.PSCLatency
@@ -324,6 +339,22 @@ func (w *Walker) RegisterMetrics(g *obs.Group) {
 	g.Counter("psc_hits", func() uint64 { return w.Stats.PSCHits.Value() })
 	g.Counter("nested_hits", func() uint64 { return w.Stats.NestedHits.Value() })
 	g.Counter("nested_walks", func() uint64 { return w.Stats.NestedWalks.Value() })
+	g.Counter("walks_completed", func() uint64 { return w.Stats.WalksCompleted.Value() })
+	g.Counter("walk_errors", func() uint64 { return w.Stats.WalkErrors.Value() })
 	g.Gauge("walk_cycles_mean", func() float64 { return w.Stats.WalkCycles.Mean() })
 	g.Histogram("walk_cycles", &w.Stats.WalkCyclesHist)
+}
+
+// CheckConservation verifies that every started walk is accounted for by
+// exactly one outcome — Walks == WalksCompleted + WalkErrors — returning
+// a detail string when broken ("" while the invariant holds). Evaluated
+// between walks, this catches a walk path that returns without recording
+// its outcome (a lost outstanding request).
+func (w *Walker) CheckConservation() string {
+	walks := w.Stats.Walks.Value()
+	done, errs := w.Stats.WalksCompleted.Value(), w.Stats.WalkErrors.Value()
+	if walks != done+errs {
+		return fmt.Sprintf("walks(%d) != completed(%d)+errors(%d)", walks, done, errs)
+	}
+	return ""
 }
