@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz golden-update bench bench-json check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz fuzz-engines equivalence alloc golden-update bench bench-json check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -63,6 +63,24 @@ race-chaos:
 fuzz:
 	$(GO) test ./internal/workload/ -fuzz FuzzGenerator -fuzztime 30s
 
+# Bounded fuzz pass over the fast-vs-reference engine equivalence: random
+# valid configurations through both simulation datapaths, byte-identical
+# metrics required. Extend -fuzztime for deeper soaks.
+fuzz-engines:
+	$(GO) test ./internal/sim/ -run '^$$' -fuzz FuzzEngineEquivalence -fuzztime 30s
+
+# Differential-equivalence suite: the curated fig3/fig8-style matrix plus
+# the golden experiment tables, both engines, invariant checks armed.
+equivalence:
+	$(GO) test $(TESTFLAGS) -run 'EngineEquivalence' ./internal/sim/
+	$(GO) test $(TESTFLAGS) -run TestGoldenTablesEngineInvariant ./internal/experiment/
+
+# Allocation regression: the fast engine's steady-state step loop must
+# stay allocation-free (internal/sim/alloc_test.go). Runs without -race —
+# the detector's instrumentation makes allocation counts meaningless.
+alloc:
+	$(GO) test $(TESTFLAGS) -run ZeroAllocs ./internal/sim/
+
 # Regenerate the golden experiment tables after an intended change to
 # simulator behaviour or table formatting.
 golden-update:
@@ -77,4 +95,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchreg -dir .
 
-check: build vet test race-short race-fault race-telemetry race-chaos
+check: build vet test alloc race-short race-fault race-telemetry race-chaos

@@ -128,10 +128,11 @@ func run() int {
 	return 0
 }
 
-// runGoBench executes the root package's benchmark suite and returns the
-// combined output.
+// runGoBench executes every package's benchmark suite — the root
+// macro-benchmarks plus the per-subsystem pairs in internal/tlb,
+// internal/cache and internal/sim — and returns the combined output.
 func runGoBench(pattern, benchtime string) ([]byte, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
-		"-benchtime", benchtime, "-timeout", "30m", ".")
+		"-benchtime", benchtime, "-timeout", "30m", "./...")
 	return cmd.CombinedOutput()
 }

@@ -77,6 +77,10 @@ type Config struct {
 	InlineProfiler bool
 	// ProfilerSampleShift: profile every 2^n-th set (0 = every set).
 	ProfilerSampleShift uint
+	// Flat selects the packed-word line-metadata layout of the fast
+	// simulation engine (see flat.go); behaviour is bit-identical to the
+	// default struct layout.
+	Flat bool
 }
 
 // Stats aggregates a cache's counters, split by line type.
@@ -105,8 +109,11 @@ type Cache struct {
 	sets     int
 	ways     int
 	setShift uint
-	lines    []line // sets*ways, row-major
+	lines    []line   // sets*ways, row-major (reference layout; nil in flat mode)
+	words    []uint64 // packed flat layout (nil in reference mode; see flat.go)
+	flat     bool
 	policy   Policy
+	lru      *trueLRU // concrete policy when PolicyLRU, for devirtualized flat paths
 
 	// partition is the number of ways reserved for data lines in each set;
 	// Unpartitioned disables enforcement.
@@ -136,14 +143,22 @@ func New(cfg Config) (*Cache, error) {
 		sets:      sets,
 		ways:      cfg.Ways,
 		setShift:  uint(bits.TrailingZeros(uint(sets))),
-		lines:     make([]line, sets*cfg.Ways),
+		flat:      cfg.Flat,
 		partition: Unpartitioned,
+	}
+	if cfg.Flat {
+		c.words = make([]uint64, sets*cfg.Ways)
+	} else {
+		c.lines = make([]line, sets*cfg.Ways)
 	}
 	p, err := NewPolicy(cfg.Policy, sets, cfg.Ways)
 	if err != nil {
 		return nil, fmt.Errorf("cache %s: %w", cfg.Name, err)
 	}
 	c.policy = p
+	if l, ok := p.(*trueLRU); ok {
+		c.lru = l
+	}
 	if cfg.Profiled {
 		if cfg.InlineProfiler {
 			c.profiler = NewInlineProfiler(cfg.Ways)
@@ -231,6 +246,9 @@ func (c *Cache) index(addr mem.PAddr) (set int, tag uint64) {
 // "Cache Lookup"). write marks the line dirty on a hit.
 func (c *Cache) Lookup(addr mem.PAddr, typ LineType, write bool) bool {
 	c.Stats.Lookups.Inc()
+	if c.flat {
+		return c.lookupFlat(addr, typ, write)
+	}
 	set, tag := c.index(addr)
 	base := set * c.ways
 	if c.profiler != nil && !c.profiler.Inline() {
@@ -268,6 +286,9 @@ func (c *Cache) SetIndex(addr mem.PAddr) int {
 // level uses it so that victim traffic does not pollute the demand-stream
 // profiling the partitioning decisions are based on.
 func (c *Cache) MarkDirty(addr mem.PAddr) bool {
+	if c.flat {
+		return c.markDirtyFlat(addr)
+	}
 	set, tag := c.index(addr)
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
@@ -298,6 +319,9 @@ func (c *Cache) ResetStats() { c.Stats = Stats{} }
 // Peek reports whether addr is present without touching any state; tests
 // and invariant checks use it.
 func (c *Cache) Peek(addr mem.PAddr) bool {
+	if c.flat {
+		return c.peekFlat(addr)
+	}
 	set, tag := c.index(addr)
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
@@ -326,6 +350,9 @@ func (c *Cache) victimRange(typ LineType) (lo, hi int) {
 // Filling an address that is already resident refreshes its state instead
 // of duplicating it.
 func (c *Cache) Fill(addr mem.PAddr, typ LineType, dirty bool) Writeback {
+	if c.flat {
+		return c.fillFlat(addr, typ, dirty)
+	}
 	set, tag := c.index(addr)
 	base := set * c.ways
 	// Already present (e.g. two outstanding misses to one line): refresh.
@@ -362,12 +389,60 @@ func (c *Cache) Fill(addr mem.PAddr, typ LineType, dirty bool) Writeback {
 	return wb
 }
 
+// FillMissed is Fill for callers that have just proven the line absent —
+// a Lookup, Peek or MarkDirty of addr returned a miss with no intervening
+// operation on this cache. The flat layout then skips Fill's
+// already-present refresh scan; behaviour is otherwise identical (the
+// reference layout always performs the full Fill, so the equivalence suite
+// cross-checks the callers' absence proofs).
+func (c *Cache) FillMissed(addr mem.PAddr, typ LineType, dirty bool) Writeback {
+	if !c.flat {
+		return c.Fill(addr, typ, dirty)
+	}
+	set, tag := c.index(addr)
+	base := set * c.ways
+	return c.fillMissedFlat(set, tag, c.words[base:base+c.ways], typ, dirty)
+}
+
+// FillQuietMissed is FillQuiet under FillMissed's absence contract.
+func (c *Cache) FillQuietMissed(addr mem.PAddr, typ LineType, dirty bool) Writeback {
+	wb := c.FillMissed(addr, typ, dirty)
+	if c.Stats.Insertions[typ] > 0 {
+		c.Stats.Insertions[typ]--
+	}
+	return wb
+}
+
+// FillAtMissed is FillAt under FillMissed's absence contract.
+func (c *Cache) FillAtMissed(addr mem.PAddr, typ LineType, dirty, promote bool) Writeback {
+	wb := c.FillMissed(addr, typ, dirty)
+	if !promote {
+		if c.flat {
+			c.fillAtDemoteFlat(addr)
+			return wb
+		}
+		set, tag := c.index(addr)
+		base := set * c.ways
+		for w := 0; w < c.ways; w++ {
+			if c.lines[base+w].valid && c.lines[base+w].tag == tag {
+				c.policy.Demote(set, w)
+				break
+			}
+		}
+	}
+	return wb
+}
+
 // FillAt inserts with an explicit insertion recency: promote=false inserts
 // at LRU position (bimodal/DIP-style insertion), promote=true at MRU.
 // Victim selection is identical to Fill.
 func (c *Cache) FillAt(addr mem.PAddr, typ LineType, dirty, promote bool) Writeback {
 	wb := c.Fill(addr, typ, dirty)
 	if !promote {
+		if c.flat {
+			c.fillAtDemoteFlat(addr)
+			return wb
+		}
 		set, tag := c.index(addr)
 		base := set * c.ways
 		for w := 0; w < c.ways; w++ {
@@ -389,6 +464,9 @@ func (c *Cache) addrOf(set int, tag uint64) mem.PAddr {
 // ("periodically the simulator scanned the caches to record the fraction
 // of TLB entries held in them").
 func (c *Cache) Occupancy() (tlbLines, validLines int) {
+	if c.flat {
+		return c.occupancyFlat()
+	}
 	for i := range c.lines {
 		if c.lines[i].valid {
 			validLines++
@@ -408,6 +486,9 @@ func (c *Cache) TypeInWays() (dataInDataWays, dataInTLBWays, tlbInDataWays, tlbI
 	n := c.partition
 	if n == Unpartitioned {
 		n = c.ways
+	}
+	if c.flat {
+		return c.typeInWaysFlat(n)
 	}
 	for s := 0; s < c.sets; s++ {
 		for w := 0; w < c.ways; w++ {
@@ -480,6 +561,9 @@ func (c *Cache) CorruptPartitionForTest() { c.partition = c.ways + 1 }
 // Flush invalidates every line (used between experiment phases); dirty
 // contents are discarded, as the simulator tracks no data bytes.
 func (c *Cache) Flush() {
+	for i := range c.words {
+		c.words[i] = 0
+	}
 	for i := range c.lines {
 		c.lines[i] = line{}
 	}

@@ -187,14 +187,20 @@ func (c *Core) maybeSwitch() {
 func (c *Core) issueLoad(done uint64) {
 	if c.outCount == len(c.outstanding) {
 		oldest := c.outstanding[c.outHead]
-		c.outHead = (c.outHead + 1) % len(c.outstanding)
+		c.outHead++
+		if c.outHead == len(c.outstanding) {
+			c.outHead = 0
+		}
 		c.outCount--
 		if oldest > c.cycle {
 			c.Stats.DataStall.Add(oldest - c.cycle)
 			c.cycle = oldest
 		}
 	}
-	tail := (c.outHead + c.outCount) % len(c.outstanding)
+	tail := c.outHead + c.outCount
+	if tail >= len(c.outstanding) {
+		tail -= len(c.outstanding)
+	}
 	c.outstanding[tail] = done
 	c.outCount++
 }

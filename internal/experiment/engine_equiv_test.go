@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// TestGoldenTablesEngineInvariant is the rendered-table end of the
+// fast-vs-reference equivalence contract (the metrics-digest end lives in
+// internal/sim/equivalence_test.go): the reference engine must reproduce
+// the committed golden tables byte for byte, and the two engines must
+// render identical tables for every golden artifact. A divergence here
+// with a green internal/sim suite would mean an engine-dependent code
+// path above the simulator — in the experiment enumerators or the table
+// renderer — which this test exists to rule out.
+func TestGoldenTablesEngineInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale golden sweep")
+	}
+	refScale := Tiny
+	refScale.Engine = sim.EngineReference
+	for _, id := range goldenExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			fastTable, err := NewEngine(Tiny, 4).Run(e)
+			if err != nil {
+				t.Fatalf("fast engine: %v", err)
+			}
+			refTable, err := NewEngine(refScale, 4).Run(e)
+			if err != nil {
+				t.Fatalf("reference engine: %v", err)
+			}
+			fast, ref := fastTable.String(), refTable.String()
+			if fast != ref {
+				t.Errorf("%s tables diverge across engines\n--- fast ---\n%s--- reference ---\n%s", id, fast, ref)
+			}
+			want, err := os.ReadFile(filepath.Join("testdata", id+"_tiny.golden"))
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			if ref != string(want) {
+				t.Errorf("%s reference-engine table drifted from golden snapshot\n--- want ---\n%s\n--- got ---\n%s", id, want, ref)
+			}
+		})
+	}
+}

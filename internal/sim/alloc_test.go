@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// Allocation regression tests for the fast engine's hot path. The whole
+// point of the flat component layouts is that a steady-state simulation
+// step — generator record, translation through the TLB hierarchy and
+// POM, data access through three cache levels and DRAM, MLP bookkeeping —
+// touches no allocator at all. One allocation per reference costs more
+// than an entire L1 TLB probe; this pins the invariant so a refactor
+// that reintroduces boxing or map traffic on the lookup path fails CI
+// rather than silently halving throughput.
+
+// steadySystem builds a system and steps core 0 past warmup so demand
+// paging, cold caches and first-touch structures are out of the way.
+func steadySystem(t *testing.T, mutate func(*Config)) *System {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.Mix = workload.Mix{ID: "gups", VM1: workload.GUPS, VM2: workload.GUPS}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys := MustNew(cfg)
+	for i := 0; i < 20_000; i++ {
+		if ok, err := sys.Cores()[0].Step(); err != nil || !ok {
+			t.Fatalf("warm step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	return sys
+}
+
+func measureStepAllocs(t *testing.T, sys *System) float64 {
+	t.Helper()
+	c := sys.Cores()[0]
+	return testing.AllocsPerRun(2_000, func() {
+		if ok, err := c.Step(); err != nil || !ok {
+			t.Fatalf("step: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestFastEngineStepZeroAllocs: the default (unpartitioned POM) fast
+// engine must run its steady-state step loop with zero allocations per
+// reference.
+func TestFastEngineStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if avg := measureStepAllocs(t, steadySystem(t, nil)); avg != 0 {
+		t.Errorf("fast engine step allocates %v objects/ref, want 0", avg)
+	}
+}
+
+// TestFastEngineStepZeroAllocsCSALT: the probe configuration's scheme —
+// CSALT-CD with both cache controllers and ATD profilers live — must
+// stay allocation-free too; epoch-boundary repartitioning may only use
+// preallocated state.
+func TestFastEngineStepZeroAllocsCSALT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	sys := steadySystem(t, func(c *Config) { c.Scheme = core.CriticalityDynamic })
+	if avg := measureStepAllocs(t, sys); avg != 0 {
+		t.Errorf("CSALT-CD fast engine step allocates %v objects/ref, want 0", avg)
+	}
+}

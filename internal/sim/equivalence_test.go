@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/obs"
+	"github.com/csalt-sim/csalt/internal/workload"
+)
+
+// The differential-equivalence harness: the fast engine (flat
+// index-addressed component state, devirtualized replacement, batched run
+// loop) must be observationally indistinguishable from the reference
+// engine. "Indistinguishable" is byte-level: the sha256 of the final
+// metrics-registry snapshot and the JSON encoding of the collected
+// Results must match exactly, with invariant checking armed in both runs.
+// Any behavioural shortcut the fast paths take that is visible in a
+// counter, a float, or an eviction decision fails here.
+
+// engineRun plays cfg under the named engine with a metrics registry
+// attached and invariant checks armed, returning the digest of the final
+// registry snapshot and the JSON-encoded Results.
+func engineRun(t *testing.T, cfg Config, engine string) (digest string, results []byte) {
+	t.Helper()
+	cfg.Engine = engine
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("engine %q: %v", engine, err)
+	}
+	reg := obs.NewRegistry()
+	sys.AttachObserver(&obs.Observer{Registry: reg})
+	sys.EnableInvariantChecks(0)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("engine %q: %v", engine, err)
+	}
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(snap)
+	rj, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hex.EncodeToString(sum[:]), rj
+}
+
+// assertEnginesAgree runs cfg under both engines and fails on any
+// divergence in the metrics digest or the collected Results.
+func assertEnginesAgree(t *testing.T, cfg Config) {
+	t.Helper()
+	fastDigest, fastRes := engineRun(t, cfg, EngineFast)
+	refDigest, refRes := engineRun(t, cfg, EngineReference)
+	if fastDigest != refDigest {
+		t.Errorf("metrics digest diverged:\n  fast      %s\n  reference %s", fastDigest, refDigest)
+	}
+	if !bytes.Equal(fastRes, refRes) {
+		t.Errorf("Results diverged:\n  fast      %s\n  reference %s", fastRes, refRes)
+	}
+}
+
+// equivalenceMatrix is the tiny fig3/fig8-style configuration matrix the
+// harness sweeps: POM occupancy and walks-eliminated shapes plus the
+// variants that exercise every fast-path branch (each translation
+// organisation, partitioning schemes with both profiler modes, the
+// non-LRU policies that fall back to interface dispatch, native and
+// huge-page translation, demand mapping with prewarm off).
+func equivalenceMatrix() map[string]func(*Config) {
+	return map[string]func(*Config){
+		"fig3_pom_occupancy": nil, // tinyConfig default: POM, unpartitioned
+		"fig8_walks_eliminated": func(c *Config) {
+			c.Scale = 0.12
+			c.MaxRefsPerCore = 30_000
+			c.WarmupRefs = 6_000
+			c.Mix = workload.Mix{ID: "gups", VM1: workload.GUPS, VM2: workload.GUPS}
+		},
+		"conventional": func(c *Config) { c.Org = OrgConventional },
+		"tsb":          func(c *Config) { c.Org = OrgTSB },
+		"csalt_cd": func(c *Config) {
+			c.Scheme = core.CriticalityDynamic
+			c.RecordHistory = true
+		},
+		"csalt_d_dip": func(c *Config) {
+			c.Scheme = core.Dynamic
+			c.DIP = true
+		},
+		"inline_btplru": func(c *Config) {
+			c.Scheme = core.Dynamic
+			c.InlineProfiler = true
+			c.Policy = cache.PolicyBTPLRU
+		},
+		"nru": func(c *Config) { c.Policy = cache.PolicyNRU },
+		"native_huge": func(c *Config) {
+			c.Virtualized = false
+			c.HugePages = true
+		},
+		"no_prewarm": func(c *Config) { c.NoPrewarm = true },
+	}
+}
+
+// TestEngineEquivalence sweeps the matrix; each case runs both engines to
+// completion and compares digests bit for bit.
+func TestEngineEquivalence(t *testing.T) {
+	for name, mutate := range equivalenceMatrix() {
+		t.Run(name, func(t *testing.T) {
+			cfg := tinyConfig()
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			assertEnginesAgree(t, cfg)
+		})
+	}
+}
+
+// TestEngineEquivalenceFourContexts covers the heaviest context-switching
+// shape (4 VMs per core) separately so the main matrix stays fast.
+func TestEngineEquivalenceFourContexts(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ContextsPerCore = 4
+	cfg.SwitchIntervalCycles = 10_000
+	assertEnginesAgree(t, cfg)
+}

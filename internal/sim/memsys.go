@@ -67,6 +67,10 @@ type memSystem struct {
 	walkers []*walker.Walker
 
 	vms map[mem.ASID]*vmState
+	// vmByASID is the hot-path index over vms: ASIDs are small dense
+	// integers, so the per-reference VM resolution in Translate is an array
+	// load instead of a map lookup. Maintained by addVM for both engines.
+	vmByASID []*vmState
 
 	hostA *mem.FrameAllocator
 
@@ -96,10 +100,11 @@ func newMemSystem(cfg Config) (*memSystem, error) {
 	}
 
 	profiled := cfg.Scheme == core.Dynamic || cfg.Scheme == core.CriticalityDynamic
+	flat := cfg.fastEngine()
 	for i := 0; i < cfg.Cores; i++ {
 		l1, err := cache.New(cache.Config{
 			Name: fmt.Sprintf("l1d%d", i), SizeKB: 32, Ways: 8, Latency: 4,
-			Policy: cache.PolicyLRU,
+			Policy: cache.PolicyLRU, Flat: flat,
 		})
 		if err != nil {
 			return nil, err
@@ -110,6 +115,7 @@ func newMemSystem(cfg Config) (*memSystem, error) {
 			Name: fmt.Sprintf("l2d%d", i), SizeKB: 256, Ways: 4, Latency: 12,
 			Policy: cfg.Policy, Profiled: profiled,
 			InlineProfiler: cfg.InlineProfiler, ProfilerSampleShift: 3,
+			Flat: flat,
 		})
 		if err != nil {
 			return nil, err
@@ -118,15 +124,18 @@ func newMemSystem(cfg Config) (*memSystem, error) {
 
 		m.l1tlb = append(m.l1tlb, tlb.MustNew(tlb.Config{
 			Name: fmt.Sprintf("l1tlb%d", i), Entries: 64, Ways: 4, Latency: 9,
+			Flat: flat,
 		}))
 		m.l1tlb2 = append(m.l1tlb2, tlb.MustNew(tlb.Config{
 			Name: fmt.Sprintf("l1tlb2m%d", i), Entries: 32, Ways: 4, Latency: 9,
+			Flat: flat,
 		}))
 		if cfg.SharedL2TLB && i > 0 {
 			m.l2tlb = append(m.l2tlb, m.l2tlb[0])
 		} else {
 			m.l2tlb = append(m.l2tlb, tlb.MustNew(tlb.Config{
 				Name: fmt.Sprintf("l2tlb%d", i), Entries: 1536, Ways: 12, Latency: 17,
+				Flat: flat,
 			}))
 		}
 	}
@@ -134,6 +143,7 @@ func newMemSystem(cfg Config) (*memSystem, error) {
 		Name: "l3", SizeKB: 8192, Ways: 16, Latency: 42,
 		Policy: cfg.Policy, Profiled: profiled,
 		InlineProfiler: cfg.InlineProfiler, ProfilerSampleShift: 5,
+		Flat: flat,
 	})
 	if err != nil {
 		return nil, err
@@ -178,7 +188,11 @@ func newMemSystem(cfg Config) (*memSystem, error) {
 	}
 
 	if cfg.Org == OrgPOM {
-		m.pom, err = tlb.NewPOM(pomBase, uint64(cfg.POMSizeMB)<<20)
+		if flat {
+			m.pom, err = tlb.NewPOMFlat(pomBase, uint64(cfg.POMSizeMB)<<20)
+		} else {
+			m.pom, err = tlb.NewPOM(pomBase, uint64(cfg.POMSizeMB)<<20)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -230,6 +244,10 @@ func (m *memSystem) addVM(vm *vmState) error {
 		return fmt.Errorf("sim: duplicate ASID %d", vm.asid)
 	}
 	m.vms[vm.asid] = vm
+	for int(vm.asid) >= len(m.vmByASID) {
+		m.vmByASID = append(m.vmByASID, nil)
+	}
+	m.vmByASID[vm.asid] = vm
 	for _, w := range m.walkers {
 		w.Register(vm.asid, vm.space)
 	}
@@ -270,13 +288,20 @@ func (m *memSystem) route(addr mem.PAddr) *dram.DRAM {
 
 // fillL2 inserts into a private L2 with DIP-aware insertion and routes the
 // displaced victim to L3.
+//
+// The fill helpers use the FillMissed variants: each is only ever called
+// from Access after the target cache reported a miss (or MarkDirty found
+// nothing), and nothing touches that cache between the probe and the fill —
+// lookups and fills in between hit other levels, and victim writebacks only
+// flow downward. The absence proof lets the flat layout skip the refresh
+// scan; the equivalence suite cross-checks it against the reference engine.
 func (m *memSystem) fillL2(coreID int, addr mem.PAddr, typ cache.LineType, dirty bool) {
 	l2 := m.l2[coreID]
 	var wb cache.Writeback
 	if m.l2dip != nil {
-		wb = l2.FillAt(addr, typ, dirty, m.l2dip[coreID].Promote(l2.SetIndex(addr)))
+		wb = l2.FillAtMissed(addr, typ, dirty, m.l2dip[coreID].Promote(l2.SetIndex(addr)))
 	} else {
-		wb = l2.Fill(addr, typ, dirty)
+		wb = l2.FillMissed(addr, typ, dirty)
 	}
 	if wb.Valid {
 		m.writebackToL3(wb)
@@ -290,9 +315,9 @@ func (m *memSystem) fillL3(now uint64, addr mem.PAddr, typ cache.LineType, dirty
 	l3 := m.l3
 	var wb cache.Writeback
 	if m.l3dip != nil {
-		wb = l3.FillAt(addr, typ, dirty, m.l3dip.Promote(l3.SetIndex(addr)))
+		wb = l3.FillAtMissed(addr, typ, dirty, m.l3dip.Promote(l3.SetIndex(addr)))
 	} else {
-		wb = l3.Fill(addr, typ, dirty)
+		wb = l3.FillMissed(addr, typ, dirty)
 	}
 	if wb.Valid {
 		m.route(wb.Addr).Access(now, wb.Addr, true)
@@ -304,7 +329,7 @@ func (m *memSystem) writebackToL3(wb cache.Writeback) {
 	if m.l3.MarkDirty(wb.Addr) {
 		return
 	}
-	wb2 := m.l3.FillQuiet(wb.Addr, wb.Typ, true)
+	wb2 := m.l3.FillQuietMissed(wb.Addr, wb.Typ, true)
 	if wb2.Valid {
 		m.route(wb2.Addr).Access(0, wb2.Addr, true)
 	}
@@ -316,7 +341,7 @@ func (m *memSystem) writebackToL2(coreID int, wb cache.Writeback) {
 	if l2.MarkDirty(wb.Addr) {
 		return
 	}
-	wb2 := l2.FillQuiet(wb.Addr, wb.Typ, true)
+	wb2 := l2.FillQuietMissed(wb.Addr, wb.Typ, true)
 	if wb2.Valid {
 		m.writebackToL3(wb2)
 	}
@@ -324,7 +349,7 @@ func (m *memSystem) writebackToL2(coreID int, wb cache.Writeback) {
 
 // fillL1 inserts a data line into a core's L1D.
 func (m *memSystem) fillL1(coreID int, addr mem.PAddr, dirty bool) {
-	wb := m.l1d[coreID].Fill(addr, cache.Data, dirty)
+	wb := m.l1d[coreID].FillMissed(addr, cache.Data, dirty)
 	if wb.Valid {
 		m.writebackToL2(coreID, wb)
 	}

@@ -75,6 +75,9 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: building VM %d: %w", i+1, err)
 		}
+		if cfg.fastEngine() {
+			vm.enableFastPresence()
+		}
 		if err := ms.addVM(vm); err != nil {
 			return nil, err
 		}
@@ -162,62 +165,90 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 
 	var sinceCheck int
 	for {
-		sinceCheck++
-		if sinceCheck >= checkEvery {
-			sinceCheck = 0
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run cancelled: %w", err)
-			}
-			if err := s.checkStall(); err != nil {
-				return nil, err
-			}
-			if err := s.checkPeriodic(); err != nil {
-				return nil, err
-			}
-		}
-		// Pick the active core with the smallest clock.
+		// Pick the active core with the smallest clock; the scan's strict <
+		// comparison makes the lowest index win ties.
 		var next *cpu.Core
-		for _, c := range s.cores {
+		nextIdx := -1
+		for i, c := range s.cores {
 			if c.Stats.MemRefs.Value() >= target {
 				continue
 			}
 			if next == nil || c.Cycle() < next.Cycle() {
-				next = c
+				next, nextIdx = c, i
 			}
 		}
 		if next == nil {
 			break
 		}
-		ok, err := next.Step()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("sim: core %d trace ended prematurely", next.ID())
-		}
-		if s.obs != nil && s.obs.Sampler != nil {
-			s.sinceSample++
-			if s.sinceSample >= s.sampleEvery {
-				s.sinceSample = 0
-				s.sample()
+		// Batch: other cores' clocks cannot advance while next is stepped,
+		// so next stays the reference schedule's pick — no re-scan needed —
+		// until its clock passes the best other core (or reaches it with a
+		// higher index, which would lose the tie).
+		minOther := ^uint64(0)
+		minOtherIdx := -1
+		haveOther := false
+		for i, c := range s.cores {
+			if i == nextIdx || c.Stats.MemRefs.Value() >= target {
+				continue
+			}
+			if cy := c.Cycle(); !haveOther || cy < minOther {
+				minOther, minOtherIdx, haveOther = cy, i, true
 			}
 		}
-		if !warmed {
-			crossed := true
-			for _, c := range s.cores {
-				if c.Stats.MemRefs.Value() < warm {
-					crossed = false
-					break
+		for {
+			sinceCheck++
+			if sinceCheck >= checkEvery {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run cancelled: %w", err)
+				}
+				if err := s.checkStall(); err != nil {
+					return nil, err
+				}
+				if err := s.checkPeriodic(); err != nil {
+					return nil, err
 				}
 			}
-			if crossed {
-				warmed = true
-				s.mem.resetStats()
-				s.takeSnaps()
-				if s.obs != nil && s.obs.Sampler != nil {
-					// The reset zeroed the counters under the sampler's
-					// baseline; re-anchor so the next delta is not negative.
-					s.captureBase()
+			ok, err := next.Step()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("sim: core %d trace ended prematurely", next.ID())
+			}
+			if s.obs != nil && s.obs.Sampler != nil {
+				s.sinceSample++
+				if s.sinceSample >= s.sampleEvery {
+					s.sinceSample = 0
+					s.sample()
+				}
+			}
+			if !warmed {
+				crossed := true
+				for _, c := range s.cores {
+					if c.Stats.MemRefs.Value() < warm {
+						crossed = false
+						break
+					}
+				}
+				if crossed {
+					warmed = true
+					s.mem.resetStats()
+					s.takeSnaps()
+					if s.obs != nil && s.obs.Sampler != nil {
+						// The reset zeroed the counters under the sampler's
+						// baseline; re-anchor so the next delta is not negative.
+						s.captureBase()
+					}
+				}
+			}
+			if next.Stats.MemRefs.Value() >= target {
+				break
+			}
+			if haveOther {
+				cy := next.Cycle()
+				if cy > minOther || (cy == minOther && nextIdx > minOtherIdx) {
+					break
 				}
 			}
 		}

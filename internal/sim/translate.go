@@ -24,8 +24,11 @@ func (m *memSystem) installTLBs(coreID int, v mem.VAddr, asid mem.ASID, frame me
 // configured organisation — straight to the page walker (conventional),
 // through the data caches to the POM-TLB, or through the TSB chain.
 func (m *memSystem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int) (uint64, mem.PAddr, bool, error) {
-	vm, ok := m.vms[asid]
-	if !ok {
+	var vm *vmState
+	if int(asid) < len(m.vmByASID) {
+		vm = m.vmByASID[asid]
+	}
+	if vm == nil {
 		return 0, 0, false, fmt.Errorf("sim: no VM registered for ASID %d", asid)
 	}
 	// Demand population: first touch of a page installs its translation

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Accumulation-order audit. The metrics digest and the engine-equivalence
+// suite compare float results bit for bit, which makes the accumulation
+// order of every aggregate part of its contract. These tests pin three
+// facts: (1) the helpers implement exactly the documented left-to-right
+// fold, to the last bit; (2) that order is genuinely load-bearing — a
+// permutation of the same samples produces different bits; (3) the
+// streaming RunningMean agrees bit-for-bit with the batch Mean, so a
+// component may use either without perturbing a digest.
+
+// orderedSamples is a value set chosen (see order_test's history) so that
+// both the plain sum and the log-sum are permutation-sensitive in the
+// last bit — typical magnitudes for IPC ratios and hit rates.
+var orderedSamples = []float64{0.3117, 1.618, 0.577, 2.718281828, 0.1}
+
+func bitsOf(x float64) uint64 { return math.Float64bits(x) }
+
+// TestMeanCanonicalOrder pins Mean to the left-to-right fold, restated
+// here independently of the implementation.
+func TestMeanCanonicalOrder(t *testing.T) {
+	cases := [][]float64{
+		orderedSamples,
+		{1.0},
+		{0.1, 0.2, 0.3},
+		{1e16, 1.0, -1e16}, // catastrophic cancellation: order visibly matters
+	}
+	for _, xs := range cases {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		want := sum / float64(len(xs))
+		if got := Mean(xs); bitsOf(got) != bitsOf(want) {
+			t.Errorf("Mean(%v) = %x, canonical fold gives %x", xs, bitsOf(got), bitsOf(want))
+		}
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+// TestGeoMeanCanonicalOrder pins GeoMeanSkipped to Exp(sum of Log, left
+// to right, positives only / count).
+func TestGeoMeanCanonicalOrder(t *testing.T) {
+	cases := [][]float64{
+		orderedSamples,
+		{0.5, 0, -3, 2.0}, // non-positives skipped, not poisoning
+		{4.0},
+	}
+	for _, xs := range cases {
+		sum, n := 0.0, 0
+		for _, x := range xs {
+			if x > 0 {
+				sum += math.Log(x)
+				n++
+			}
+		}
+		want := math.Exp(sum / float64(n))
+		got, skipped := GeoMeanSkipped(xs)
+		if bitsOf(got) != bitsOf(want) {
+			t.Errorf("GeoMeanSkipped(%v) = %x, canonical fold gives %x", xs, bitsOf(got), bitsOf(want))
+		}
+		if wantSkip := len(xs) - n; skipped != wantSkip {
+			t.Errorf("GeoMeanSkipped(%v) skipped %d, want %d", xs, skipped, wantSkip)
+		}
+		if g := GeoMean(xs); bitsOf(g) != bitsOf(got) {
+			t.Errorf("GeoMean and GeoMeanSkipped disagree on %v", xs)
+		}
+	}
+}
+
+// TestAccumulationOrderIsLoadBearing demonstrates why the order is pinned:
+// the same multiset of samples, reordered, yields different bits from
+// both Mean and GeoMean. If this test ever starts failing, float
+// summation became order-insensitive on this platform — it will not — or
+// someone switched the helpers to a compensated sum, which is a
+// digest-breaking behaviour change.
+func TestAccumulationOrderIsLoadBearing(t *testing.T) {
+	meanPerm := []float64{0.1, 2.718281828, 0.577, 1.618, 0.3117}
+	if bitsOf(Mean(orderedSamples)) == bitsOf(Mean(meanPerm)) {
+		t.Errorf("Mean insensitive to permutation: %x", bitsOf(Mean(orderedSamples)))
+	}
+	geoPerm := []float64{0.3117, 0.577, 0.1, 2.718281828, 1.618}
+	if bitsOf(GeoMean(orderedSamples)) == bitsOf(GeoMean(geoPerm)) {
+		t.Errorf("GeoMean insensitive to permutation: %x", bitsOf(GeoMean(orderedSamples)))
+	}
+	// The divergence is confined to the final bits — anything larger
+	// would be a numerics bug, not rounding.
+	if d := math.Abs(Mean(orderedSamples) - Mean(meanPerm)); d > 1e-12 {
+		t.Errorf("permutation moved Mean by %v, beyond rounding", d)
+	}
+}
+
+// TestRunningMeanMatchesBatchMean: the streaming fold must be
+// bit-identical to the batch helper over the same order — components
+// recording latencies one observation at a time contribute the same bits
+// to a digest as a post-hoc Mean over the collected slice.
+func TestRunningMeanMatchesBatchMean(t *testing.T) {
+	var r RunningMean
+	for _, x := range orderedSamples {
+		r.Observe(x)
+	}
+	if bitsOf(r.Mean()) != bitsOf(Mean(orderedSamples)) {
+		t.Errorf("RunningMean %x != Mean %x", bitsOf(r.Mean()), bitsOf(Mean(orderedSamples)))
+	}
+	if r.N() != uint64(len(orderedSamples)) {
+		t.Errorf("N = %d", r.N())
+	}
+	r.Reset()
+	if r.Mean() != 0 || r.N() != 0 {
+		t.Error("Reset did not clear")
+	}
+}

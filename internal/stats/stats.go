@@ -1,6 +1,21 @@
 // Package stats provides the counter, rate and summary primitives shared by
 // every simulator component, plus the small numeric helpers (geometric mean,
 // MPKI) the experiment harness uses to report results the way the paper does.
+//
+// # Canonical accumulation order
+//
+// Every float aggregate in this package — Mean, GeoMean/GeoMeanSkipped,
+// RunningMean — is a strict left-to-right fold over the caller-supplied
+// order, with no pairwise, sorted or compensated (Kahan) summation.
+// Floating-point addition is not associative, so the order is part of each
+// helper's contract: the golden experiment tables, the benchreg metrics
+// digest and the fast-vs-reference engine-equivalence suite all compare
+// results bit for bit, and a reordered accumulation produces a different
+// last bit (see order_test.go for a pinned demonstration). Changing the
+// accumulation strategy is a behaviour change that requires regenerating
+// goldens — not a refactor. Callers, in turn, must feed observations in a
+// deterministic order; the simulator's single-threaded run loop guarantees
+// this by construction.
 package stats
 
 import (
@@ -55,6 +70,10 @@ func GeoMean(xs []float64) float64 {
 // mean summarises fewer workloads than the caller supplied — experiment
 // tables flag it so a degenerate run cannot silently vanish into an
 // aggregate row.
+//
+// The mean is computed as Exp of the left-to-right sum of Log(x) divided
+// by the retained count — the package's canonical accumulation order (see
+// the package comment); permuting xs can flip the result's last bit.
 func GeoMeanSkipped(xs []float64) (mean float64, skipped int) {
 	sum, n := 0.0, 0
 	for _, x := range xs {
@@ -70,7 +89,8 @@ func GeoMeanSkipped(xs []float64) (mean float64, skipped int) {
 	return math.Exp(sum / float64(n)), skipped
 }
 
-// Mean returns the arithmetic mean of xs (0 for an empty slice).
+// Mean returns the arithmetic mean of xs (0 for an empty slice), summed
+// left to right in the caller's order (see the package comment).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -108,7 +128,10 @@ func (h *HitRate) Reset() { h.Hits, h.Misses = 0, 0 }
 
 // RunningMean tracks a streaming arithmetic mean without storing samples,
 // used for per-event latency averages (e.g. page-walk cycles per L2 TLB
-// miss in Table 1).
+// miss in Table 1). The sum folds observations in arrival order, so it is
+// bit-identical to Mean over the same samples in the same order — the
+// canonical accumulation order (see the package comment). Observation
+// order is therefore part of the simulator's determinism contract.
 type RunningMean struct {
 	n   uint64
 	sum float64

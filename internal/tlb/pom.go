@@ -23,7 +23,10 @@ type POM struct {
 	sizeB    uint64
 	sets     uint64
 	ways     int
-	entries  []entry
+	entries  []entry  // reference layout (nil in flat mode)
+	fw       []uint64 // packed one-line-per-set flat layout (nil in reference mode)
+	nBySize  [2]int   // flat mode: valid entries per page size
+	flat     bool
 	next     uint64
 	hashSeed uint64
 
@@ -74,9 +77,31 @@ func NewPOM(base mem.PAddr, sizeBytes uint64) (*POM, error) {
 	}, nil
 }
 
+// NewPOMFlat is NewPOM with the fast engine's struct-of-arrays entry layout
+// (see flat.go); behaviour is bit-identical to the reference layout.
+func NewPOMFlat(base mem.PAddr, sizeBytes uint64) (*POM, error) {
+	p, err := NewPOM(base, sizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	p.entries = nil
+	p.fw = make([]uint64, int(p.sets)*pomSetStride)
+	p.flat = true
+	return p, nil
+}
+
 // MustNewPOM is NewPOM for static configurations.
 func MustNewPOM(base mem.PAddr, sizeBytes uint64) *POM {
 	p, err := NewPOM(base, sizeBytes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustNewPOMFlat is NewPOMFlat for static configurations.
+func MustNewPOMFlat(base mem.PAddr, sizeBytes uint64) *POM {
+	p, err := NewPOMFlat(base, sizeBytes)
 	if err != nil {
 		panic(err)
 	}
@@ -122,6 +147,9 @@ func (p *POM) LineAddrSized(v mem.VAddr, asid mem.ASID, size mem.PageSize) mem.P
 
 // probe searches one size's set for (v, asid).
 func (p *POM) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, bool) {
+	if p.flat {
+		return p.probeFlat(v, asid, size)
+	}
 	vpn := mem.PageNumber(v, size)
 	base := int(p.setOf(vpn, asid, size)) * p.ways
 	for w := 0; w < p.ways; w++ {
@@ -187,6 +215,10 @@ func (p *POM) InsertSized(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.
 // not a fill; an evict event fires only when a valid entry for a different
 // page is displaced.
 func (p *POM) InsertSizedAt(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
+	if p.flat {
+		p.insertFlat(now, v, asid, frame, size)
+		return
+	}
 	vpn := mem.PageNumber(v, size)
 	base := int(p.setOf(vpn, asid, size)) * p.ways
 	victim := base
@@ -234,6 +266,9 @@ func (p *POM) CheckConservation() string {
 
 // Utilization returns the fraction of POM entries currently valid.
 func (p *POM) Utilization() float64 {
+	if p.flat {
+		return p.utilizationFlat()
+	}
 	valid := 0
 	for i := range p.entries {
 		if p.entries[i].valid {

@@ -31,6 +31,10 @@ type Config struct {
 	Entries int
 	Ways    int
 	Latency uint64 // lookup latency in CPU cycles
+	// Flat selects the struct-of-arrays entry layout of the fast simulation
+	// engine (see flat.go); behaviour is bit-identical to the default
+	// array-of-structs layout.
+	Flat bool
 }
 
 // TLB is one set-associative, ASID-tagged translation lookaside buffer.
@@ -41,7 +45,9 @@ type TLB struct {
 	sets    int
 	ways    int
 	setMask uint64
-	entries []entry
+	entries []entry   // reference layout (nil in flat mode)
+	fs      flatState // flat layout (empty in reference mode)
+	flat    bool
 	next    uint64
 
 	Accesses stats.HitRate
@@ -60,13 +66,19 @@ func New(cfg Config) (*TLB, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("tlb %s: set count %d not a power of two", cfg.Name, sets)
 	}
-	return &TLB{
+	t := &TLB{
 		cfg:     cfg,
 		sets:    sets,
 		ways:    cfg.Ways,
 		setMask: uint64(sets - 1),
-		entries: make([]entry, cfg.Entries),
-	}, nil
+		flat:    cfg.Flat,
+	}
+	if cfg.Flat {
+		t.fs = newFlatState(cfg.Entries)
+	} else {
+		t.entries = make([]entry, cfg.Entries)
+	}
+	return t, nil
 }
 
 // MustNew is New for static configurations.
@@ -85,7 +97,12 @@ func (t *TLB) Name() string { return t.cfg.Name }
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }
 
 // Entries returns the capacity.
-func (t *TLB) Entries() int { return len(t.entries) }
+func (t *TLB) Entries() int {
+	if t.flat {
+		return len(t.fs.km)
+	}
+	return len(t.entries)
+}
 
 // RegisterMetrics publishes the TLB's hit/miss counters into an
 // observability group. Closures keep the reads live (see
@@ -117,6 +134,9 @@ func (t *TLB) probe(v mem.VAddr, asid mem.ASID, size mem.PageSize) (mem.PAddr, b
 // the page frame and the matched page size.
 func (t *TLB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool) {
 	t.Lookups.Inc()
+	if t.flat {
+		return t.lookupFlat(v, asid)
+	}
 	if frame, ok := t.probe(v, asid, mem.Page4K); ok {
 		t.Accesses.Hit()
 		return frame, mem.Page4K, true
@@ -132,6 +152,10 @@ func (t *TLB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool)
 // Insert installs a translation, evicting the set's LRU entry if needed.
 // Inserting an existing (asid, page) refreshes it.
 func (t *TLB) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
+	if t.flat {
+		t.insertFlat(v, asid, frame, size)
+		return
+	}
 	vpn := mem.PageNumber(v, size)
 	base := t.set(vpn) * t.ways
 	victim := base
@@ -175,6 +199,10 @@ func (t *TLB) CheckConservation() string {
 // context switches — ASID tagging exists precisely to avoid that — but
 // exposed for completeness and tests).
 func (t *TLB) FlushASID(asid mem.ASID) {
+	if t.flat {
+		t.flushASIDFlat(asid)
+		return
+	}
 	for i := range t.entries {
 		if t.entries[i].asid == asid {
 			t.entries[i].valid = false
@@ -185,6 +213,9 @@ func (t *TLB) FlushASID(asid mem.ASID) {
 // OccupancyByASID counts valid entries per ASID, for diagnostics of the
 // context-switch contention the paper measures.
 func (t *TLB) OccupancyByASID() map[mem.ASID]int {
+	if t.flat {
+		return t.occupancyByASIDFlat()
+	}
 	out := make(map[mem.ASID]int)
 	for i := range t.entries {
 		if t.entries[i].valid {

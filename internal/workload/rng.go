@@ -8,6 +8,14 @@ import "math"
 // comparisons (Fig. 7, 13, …) see exactly the same workload.
 type RNG struct {
 	state uint64
+
+	// Geometric denominator cache: math.Log(1-p) for the last mean seen.
+	// Generators alternate between at most two gap means, and recomputing
+	// the logarithm per sample dominates Geometric's cost. Caching the
+	// exact value keeps the division — and therefore every sampled bit —
+	// identical to the uncached computation.
+	geoMean float64
+	geoLog  float64
 }
 
 // NewRNG seeds a generator. Distinct seeds give independent streams.
@@ -64,8 +72,11 @@ func (r *RNG) Geometric(mean float64) uint32 {
 	if u <= 0 {
 		u = 1e-18
 	}
-	p := 1 / (mean + 1)
-	x := math.Log(u) / math.Log(1-p)
+	if mean != r.geoMean || r.geoLog == 0 {
+		p := 1 / (mean + 1)
+		r.geoMean, r.geoLog = mean, math.Log(1-p)
+	}
+	x := math.Log(u) / r.geoLog
 	if x < 0 {
 		return 0
 	}
