@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz fuzz-engines equivalence alloc golden-update bench bench-json check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz fuzz-engines equivalence alloc golden-update bench bench-json introspect-smoke check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -81,6 +81,18 @@ equivalence:
 alloc:
 	$(GO) test $(TESTFLAGS) -run ZeroAllocs ./internal/sim/
 
+# Introspection smoke: the cross-engine attribution equivalence matrix
+# (report byte-identical on both engines), the passivity and ledger
+# tests, the zero-alloc and disabled-overhead gates, the golden-table
+# compare with the plane attached, and a real attribution run through
+# cmd/csaltsim with the conservation checkers armed (-check verifies
+# every probe's cause buckets sum to the counters they shadow).
+introspect-smoke:
+	$(GO) test $(TESTFLAGS) -run 'Introspect|Attribution' ./internal/sim/ ./internal/benchreg/
+	$(GO) test $(TESTFLAGS) -run TestDisabledIntrospectionGoldenTables ./internal/experiment/
+	$(GO) run ./cmd/csaltsim -mix gups -cores 2 -refs 120000 -warmup 24000 -scale 0.05 -check \
+		-attr-out /tmp/csalt-introspect-smoke.json -heatmap-csv /tmp/csalt-introspect-smoke.csv >/dev/null
+
 # Regenerate the golden experiment tables after an intended change to
 # simulator behaviour or table formatting.
 golden-update:
@@ -95,4 +107,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchreg -dir .
 
-check: build vet test alloc race-short race-fault race-telemetry race-chaos
+check: build vet test alloc race-short race-fault race-telemetry race-chaos introspect-smoke

@@ -83,6 +83,23 @@ func run() int {
 		probe.InvariantOverheadFrac = frac
 		fmt.Fprintf(os.Stderr, "benchreg: always-on invariant checks cost %+.2f%% throughput (bar <%.0f%%)\n",
 			frac*100, benchreg.MaxInvariantOverheadFrac*100)
+
+		ifrac, err := benchreg.MeasureIntrospectOverhead(*probeRefs, *overheadRounds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		probe.IntrospectOverheadFrac = ifrac
+		fmt.Fprintf(os.Stderr, "benchreg: disabled introspection hooks cost %+.3f%% throughput (bar <%.0f%%)\n",
+			ifrac*100, benchreg.MaxIntrospectOverheadFrac*100)
+
+		afrac, err := benchreg.MeasureAttributionOverhead(*probeRefs, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreg: %v\n", err)
+			return 2
+		}
+		probe.AttributionOverheadFrac = afrac
+		fmt.Fprintf(os.Stderr, "benchreg: attached attribution costs %+.0f%% wall time (informational)\n", afrac*100)
 	}
 
 	path := filepath.Join(*dir, rep.FileName())
@@ -92,11 +109,17 @@ func run() int {
 	}
 	fmt.Printf("benchreg: wrote %s\n", path)
 
-	// The invariant-overhead bar is absolute, not relative to a baseline:
-	// the always-on safety net must stay cheap even on the first run.
+	// The invariant- and introspection-overhead bars are absolute, not
+	// relative to a baseline: the always-on safety net and the disabled
+	// attribution hooks must stay cheap even on the first run.
 	if rep.Probe != nil && rep.Probe.InvariantOverheadFrac > benchreg.MaxInvariantOverheadFrac {
 		fmt.Fprintf(os.Stderr, "benchreg: always-on invariant checks cost %.2f%% throughput, above the %.0f%% bar\n",
 			rep.Probe.InvariantOverheadFrac*100, benchreg.MaxInvariantOverheadFrac*100)
+		return 1
+	}
+	if rep.Probe != nil && rep.Probe.IntrospectOverheadFrac > benchreg.MaxIntrospectOverheadFrac {
+		fmt.Fprintf(os.Stderr, "benchreg: disabled introspection hooks cost %.2f%% throughput, above the %.0f%% bar\n",
+			rep.Probe.IntrospectOverheadFrac*100, benchreg.MaxIntrospectOverheadFrac*100)
 		return 1
 	}
 

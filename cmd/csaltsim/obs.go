@@ -5,11 +5,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"github.com/csalt-sim/csalt"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/sim"
 	"github.com/csalt-sim/csalt/internal/telemetry"
@@ -25,6 +27,8 @@ type obsFlags struct {
 	epochCSV    string
 	epochEvery  uint64
 	epochCap    int
+	attrOut     string
+	heatmapCSV  string
 	listen      string
 	pprofAddr   string
 	cpuProfile  string
@@ -37,6 +41,8 @@ func registerObsFlags(f *obsFlags) {
 	flag.StringVar(&f.traceFormat, "trace-format", "jsonl", "trace encoding: jsonl | chrome")
 	flag.StringVar(&f.traceEvents, "trace-events", "all", "comma-separated trace enable list: context_switch,repartition,pom_fill,pom_evict,pom,all,none")
 	flag.StringVar(&f.epochCSV, "epoch-csv", "", "write the epoch time-series (CSV) to this file ('-' for stdout)")
+	flag.StringVar(&f.attrOut, "attr-out", "", "attach the cycle/miss-attribution plane and write its report (JSON) to this file ('-' for stdout)")
+	flag.StringVar(&f.heatmapCSV, "heatmap-csv", "", "write the attribution plane's per-set occupancy/contention heatmaps (CSV) to this file ('-' for stdout)")
 	flag.StringVar(&f.listen, "listen", "", "serve the live telemetry plane on this address (e.g. localhost:9100): /metrics /healthz /readyz /events /runs")
 	flag.Uint64Var(&f.epochEvery, "epoch-every", 0, "memory references between epoch samples (0 = auto from run length)")
 	flag.IntVar(&f.epochCap, "epoch-cap", 0, "epoch sample buffer capacity before downsampling (0 = default)")
@@ -49,7 +55,8 @@ func registerObsFlags(f *obsFlags) {
 // (profiling alone does not change the execution path). -listen forces the
 // observed path: live telemetry needs an observer on every system.
 func (f *obsFlags) observed() bool {
-	return f.metricsOut != "" || f.traceOut != "" || f.epochCSV != "" || f.listen != ""
+	return f.metricsOut != "" || f.traceOut != "" || f.epochCSV != "" ||
+		f.attrOut != "" || f.heatmapCSV != "" || f.listen != ""
 }
 
 // suffixPath inserts a mix suffix before the path's extension:
@@ -148,6 +155,14 @@ func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format o
 	}
 	sys.AttachObserver(o)
 
+	// Attribution attaches after the observer so switch-damage/phase
+	// events reach the trace and introspect.* counters reach the registry.
+	var plane *introspect.Plane
+	if f.attrOut != "" || f.heatmapCSV != "" {
+		plane = introspect.NewPlane(introspect.Config{Cores: cfg.Cores})
+		sys.AttachIntrospection(plane)
+	}
+
 	if tel != nil {
 		release := tel.AddSystem(sys, o)
 		defer release()
@@ -180,7 +195,33 @@ func runOneObserved(ctx context.Context, cfg csalt.Config, f *obsFlags, format o
 			return nil, err
 		}
 	}
+	if f.attrOut != "" {
+		if err := writeTo(outPath(f.attrOut, cfg.Mix.ID, many), plane.WriteReport); err != nil && runErr == nil {
+			return nil, fmt.Errorf("writing attribution report: %w", err)
+		}
+	}
+	if f.heatmapCSV != "" {
+		if err := writeTo(outPath(f.heatmapCSV, cfg.Mix.ID, many), plane.WriteHeatmapCSV); err != nil && runErr == nil {
+			return nil, fmt.Errorf("writing heatmap CSV: %w", err)
+		}
+	}
 	return res, runErr
+}
+
+// writeTo streams write(w) to path ('-' for stdout).
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	out, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // createFile opens path for writing, creating missing parent directories

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +56,7 @@ import (
 	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/experiment"
 	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/sim"
 	"github.com/csalt-sim/csalt/internal/telemetry"
@@ -94,6 +96,8 @@ func main() {
 		chaosSpec   = flag.String("chaos", "", "deterministic fault-injection schedule, e.g. 'checkpoint.write:err@3;job.panic:gups' (see ROBUSTNESS.md)")
 		chaosSweep  = flag.Int("chaos-sweep", 0, "run the chaos harness: this many seeded fault schedules against a tiny fig3 sweep")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "base seed for -chaos-sweep schedules")
+		attrOut     = flag.String("attr-out", "", "attach the cycle/miss-attribution plane to every simulation and write per-configuration reports (JSON) into this directory")
+		heatmapCSV  = flag.String("heatmap-csv", "", "write each simulation's per-set occupancy/contention heatmaps (CSV) into this directory")
 		listen      = flag.String("listen", "", "serve the live telemetry plane on this address (e.g. localhost:9100): /metrics /healthz /readyz /events /runs")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -234,6 +238,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/{metrics,healthz,readyz,events,runs}\n", tel.Addr())
 	}
 
+	// Opt-in attribution: chain onto any Observe hooks telemetry installed
+	// so the plane attaches after the observer on every system.
+	if *attrOut != "" || *heatmapCSV != "" {
+		if err := attachAttribution(eng.Runner, *attrOut, *heatmapCSV); err != nil {
+			usageFail("%v", err)
+		}
+	}
+
 	// Ctrl-C / SIGTERM cancel the sweep cooperatively: in-flight
 	// simulations stop within a few hundred steps, completed results stay
 	// durable in the store, and the metrics/summary still flush below.
@@ -350,6 +362,62 @@ func runChaosSweep(runs int, seed uint64, spec string, parallel int) {
 		fmt.Fprintf(os.Stderr, "chaos sweep FAILED: %v\n", err)
 		os.Exit(exitSimFailure)
 	}
+}
+
+// attachAttribution wires an introspection plane onto every simulated
+// system and, when each run finishes, writes its attribution report and
+// heatmaps into the given directories — one file per configuration,
+// named <mix>_<org>_<scheme> like the chaos-plane job keys. Attribution
+// is passive, so observed results still hit the memo cache and match
+// unobserved runs byte for byte.
+func attachAttribution(r *experiment.Runner, attrDir, heatDir string) error {
+	for _, dir := range []string{attrDir, heatDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	prevObserve, prevDone := r.Observe, r.ObserveDone
+	r.Observe = func(sys *sim.System) {
+		if prevObserve != nil {
+			prevObserve(sys)
+		}
+		sys.AttachIntrospection(introspect.NewPlane(introspect.Config{Cores: sys.Config().Cores}))
+	}
+	r.ObserveDone = func(sys *sim.System) {
+		if prevDone != nil {
+			defer prevDone(sys)
+		}
+		p := sys.Introspection()
+		if p == nil {
+			return
+		}
+		cfg := sys.Config()
+		name := fmt.Sprintf("%s_%s_%s", cfg.Mix.ID, cfg.Org, cfg.Scheme)
+		if attrDir != "" {
+			writeAttrFile(filepath.Join(attrDir, name+".json"), p.WriteReport)
+		}
+		if heatDir != "" {
+			writeAttrFile(filepath.Join(heatDir, name+".csv"), p.WriteHeatmapCSV)
+		}
+	}
+	return nil
+}
+
+// writeAttrFile writes one attribution artifact, reporting failures to
+// stderr without failing the sweep (the simulation result is already
+// sound; only the diagnostic sidecar was lost).
+func writeAttrFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attribution: %v\n", err)
+		return
+	}
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "attribution: writing %s: %v\n", path, err)
+	}
+	f.Close()
 }
 
 // indentLines prefixes every non-empty line, for block-quoted stderr dumps.

@@ -192,3 +192,22 @@ func TestInvariantOverheadWithinBar(t *testing.T) {
 		t.Errorf("overhead fraction %.4f negative — measurement broken", frac)
 	}
 }
+
+// TestIntrospectOverheadWithinBar prices the attribution plane's
+// disabled path at a reduced probe size and holds it to the acceptance
+// bar: every hook site costs one nil compare when no plane is attached,
+// so even multiplied by every structure access a run performs the total
+// must stay under MaxIntrospectOverheadFrac.
+func TestIntrospectOverheadWithinBar(t *testing.T) {
+	frac, err := MeasureIntrospectOverhead(60_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac > MaxIntrospectOverheadFrac {
+		t.Errorf("disabled introspection hooks cost %.3f%% throughput, bar is %.0f%%",
+			frac*100, MaxIntrospectOverheadFrac*100)
+	}
+	if frac <= 0 {
+		t.Errorf("overhead fraction %.6f not positive — measurement broken", frac)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -121,6 +122,8 @@ type Cache struct {
 
 	profiler *Profiler // nil unless cfg.Profiled
 
+	ip *introspect.Probe // nil unless an attribution plane is attached
+
 	Stats Stats
 }
 
@@ -196,6 +199,16 @@ func (c *Cache) Profiler() *Profiler { return c.profiler }
 // Partition returns the current data-way allocation (Unpartitioned if off).
 func (c *Cache) Partition() int { return c.partition }
 
+// SetIntrospect attaches an attribution probe; both line layouts feed it
+// identical decoded keys, so attribution is engine-invariant.
+func (c *Cache) SetIntrospect(p *introspect.Probe) { c.ip = p }
+
+// lineKey is the attribution identity of one cached line: its line address
+// plus the type bit, so a POM line and a data line can never alias.
+func (c *Cache) lineKey(set int, tag uint64, typ LineType) uint64 {
+	return (tag<<c.setShift|uint64(set))<<1 | uint64(typ)
+}
+
 // RegisterMetrics publishes the cache's per-type counters and live
 // partition state into an observability group. Closures keep the reads
 // live (see cpu.RegisterMetrics).
@@ -258,6 +271,9 @@ func (c *Cache) Lookup(addr mem.PAddr, typ LineType, write bool) bool {
 		ln := &c.lines[base+w]
 		if ln.valid && ln.tag == tag {
 			c.Stats.ByType[typ].Hit()
+			if c.ip != nil {
+				c.ip.Hit(set, c.lineKey(set, tag, typ))
+			}
 			if c.profiler != nil && c.profiler.Inline() {
 				c.profiler.RecordPos(typ, c.policy.StackPos(set, w))
 			}
@@ -269,6 +285,9 @@ func (c *Cache) Lookup(addr mem.PAddr, typ LineType, write bool) bool {
 		}
 	}
 	c.Stats.ByType[typ].Miss()
+	if c.ip != nil {
+		c.ip.Miss(set, c.lineKey(set, tag, typ))
+	}
 	if c.profiler != nil && c.profiler.Inline() {
 		c.profiler.RecordMiss(typ)
 	}
@@ -382,6 +401,12 @@ func (c *Cache) Fill(addr mem.PAddr, typ LineType, dirty bool) Writeback {
 	if ln.valid && ln.dirty {
 		wb = Writeback{Addr: c.addrOf(set, ln.tag), Typ: ln.typ, Valid: true}
 		c.Stats.Writebacks.Inc()
+	}
+	if c.ip != nil {
+		if ln.valid {
+			c.ip.EvictCur(set, c.lineKey(set, ln.tag, ln.typ))
+		}
+		c.ip.FillCur(set, c.lineKey(set, tag, typ))
 	}
 	*ln = line{tag: tag, valid: true, dirty: dirty, typ: typ}
 	c.Stats.Insertions[typ].Inc()

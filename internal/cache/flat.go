@@ -85,6 +85,9 @@ func (c *Cache) lookupFlat(addr mem.PAddr, typ LineType, write bool) bool {
 		wd := words[w]
 		if wd&wordValid != 0 && wd>>wordTagSh == tag {
 			c.Stats.ByType[typ].Hit()
+			if c.ip != nil {
+				c.ip.Hit(set, c.lineKey(set, tag, typ))
+			}
 			if c.profiler != nil && c.profiler.Inline() {
 				c.profiler.RecordPos(typ, c.policy.StackPos(set, w))
 			}
@@ -96,6 +99,9 @@ func (c *Cache) lookupFlat(addr mem.PAddr, typ LineType, write bool) bool {
 		}
 	}
 	c.Stats.ByType[typ].Miss()
+	if c.ip != nil {
+		c.ip.Miss(set, c.lineKey(set, tag, typ))
+	}
 	if c.profiler != nil && c.profiler.Inline() {
 		c.profiler.RecordMiss(typ)
 	}
@@ -168,6 +174,12 @@ func (c *Cache) fillMissedFlat(set int, tag uint64, words []uint64, typ LineType
 	if wd&(wordValid|wordDirty) == wordValid|wordDirty {
 		wb = Writeback{Addr: c.addrOf(set, wd>>wordTagSh), Typ: wordType(wd), Valid: true}
 		c.Stats.Writebacks.Inc()
+	}
+	if c.ip != nil {
+		if wd&wordValid != 0 {
+			c.ip.EvictCur(set, c.lineKey(set, wd>>wordTagSh, wordType(wd)))
+		}
+		c.ip.FillCur(set, c.lineKey(set, tag, typ))
 	}
 	words[victim] = packWord(tag, typ, dirty)
 	c.Stats.Insertions[typ].Inc()

@@ -15,6 +15,7 @@ package cpu
 import (
 	"fmt"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -87,11 +88,21 @@ type Core struct {
 	// switch path allocation- and branch-cheap.
 	tr *obs.Tracer
 
+	// ip receives cycle-attribution hooks; nil unless an attribution
+	// plane is attached.
+	ip *introspect.CoreProbe
+
 	Stats CoreStats
 }
 
 // SetTrace attaches an event tracer; nil detaches.
 func (c *Core) SetTrace(t *obs.Tracer) { c.tr = t }
+
+// SetIntrospect attaches a cycle-attribution probe; nil detaches.
+func (c *Core) SetIntrospect(p *introspect.CoreProbe) { c.ip = p }
+
+// CurrentASID returns the address space of the running context.
+func (c *Core) CurrentASID() mem.ASID { return c.contexts[c.cur].ASID }
 
 // RegisterMetrics publishes the core's counters into an observability
 // group. Every metric is a closure over the live core — a bound method
@@ -162,8 +173,12 @@ func (c *Core) IPC() float64 {
 // advanceNonMem retires n non-memory instructions at the base CPI.
 func (c *Core) advanceNonMem(n uint64) {
 	c.cpiAccum += n * c.cfg.CPIx100
-	c.cycle += c.cpiAccum / 100
+	adv := c.cpiAccum / 100
+	c.cycle += adv
 	c.cpiAccum %= 100
+	if c.ip != nil {
+		c.ip.Compute(adv)
+	}
 }
 
 // maybeSwitch rotates to the next context when the switch interval
@@ -179,6 +194,9 @@ func (c *Core) maybeSwitch() {
 		c.nextSwitch += c.cfg.SwitchInterval
 		c.Stats.ContextSwitches.Inc()
 		c.tr.ContextSwitch(c.cycle, c.cfg.ID, from, c.cur)
+		if c.ip != nil {
+			c.ip.Switch(c.cycle, uint64(c.contexts[from].ASID), uint64(c.contexts[c.cur].ASID))
+		}
 	}
 }
 
@@ -194,6 +212,9 @@ func (c *Core) issueLoad(done uint64) {
 		c.outCount--
 		if oldest > c.cycle {
 			c.Stats.DataStall.Add(oldest - c.cycle)
+			if c.ip != nil {
+				c.ip.DataStall(oldest - c.cycle)
+			}
 			c.cycle = oldest
 		}
 	}
@@ -227,6 +248,9 @@ func (c *Core) Step() (bool, error) {
 	}
 	if blocking && done > c.cycle {
 		c.Stats.TranslateStall.Add(done - c.cycle)
+		if c.ip != nil {
+			c.ip.TranslateStall(done - c.cycle)
+		}
 		c.cycle = done
 	}
 
@@ -259,6 +283,9 @@ func (c *Core) Drain() {
 		c.outHead = (c.outHead + 1) % len(c.outstanding)
 		c.outCount--
 		if done > c.cycle {
+			if c.ip != nil {
+				c.ip.DrainStall(done - c.cycle)
+			}
 			c.cycle = done
 		}
 	}

@@ -10,6 +10,7 @@ package dram
 import (
 	"fmt"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -80,6 +81,8 @@ type DRAM struct {
 	latConflict uint64 // RP + RCD + CAS + burst
 	latWrite    uint64 // bank occupancy per buffered write (burst only)
 
+	ip *introspect.DRAMProbe // nil unless an attribution plane is attached
+
 	Stats Stats
 }
 
@@ -120,6 +123,9 @@ func MustNew(cfg Config) *DRAM {
 // Name returns the device name.
 func (d *DRAM) Name() string { return d.cfg.Name }
 
+// SetIntrospect attaches a queue-wait attribution probe.
+func (d *DRAM) SetIntrospect(p *introspect.DRAMProbe) { d.ip = p }
+
 // Access issues one line read/write at CPU cycle now and returns the cycle
 // at which the data is available. Writes model a buffered write queue:
 // the controller batches them and drains during idle slots, so a write
@@ -142,6 +148,9 @@ func (d *DRAM) Access(now uint64, addr mem.PAddr, write bool) uint64 {
 		return now
 	}
 	d.Stats.QueueWait.Observe(start - now)
+	if d.ip != nil {
+		d.ip.QueueWait(start - now)
+	}
 	var lat uint64
 	switch {
 	case b.hasRow && b.openRow == row:

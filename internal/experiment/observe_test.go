@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/sim"
 )
@@ -44,6 +45,49 @@ func TestDisabledObserverGoldenTables(t *testing.T) {
 			}
 			if got != string(want) {
 				t.Errorf("%s table differs with an observer attached — hooks are not passive\n--- want ---\n%s\n--- got ---\n%s",
+					id, want, got)
+			}
+		})
+	}
+}
+
+// TestDisabledIntrospectionGoldenTables is the attribution plane's version
+// of the same proof: running the golden experiments with both a full
+// observer and the cycle/miss-attribution plane attached must still
+// reproduce the committed golden tables byte for byte. The plane only
+// reads the component state the simulation was already producing; it must
+// never steer an eviction, a queue or a cycle count.
+func TestDisabledIntrospectionGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny-scale golden sweep")
+	}
+	eng := NewEngine(Tiny, 4)
+	eng.Runner.Observe = func(sys *sim.System) {
+		sys.AttachObserver(&obs.Observer{
+			Registry: obs.NewRegistry(),
+			Tracer:   obs.NewTracer(io.Discard, obs.FormatJSONL, 0),
+			Sampler:  obs.NewSampler(sim.SamplerColumns(), obs.DefaultSamplerCapacity),
+		})
+		sys.AttachIntrospection(introspect.NewPlane(introspect.Config{Cores: sys.Config().Cores}))
+	}
+	for _, id := range goldenExperiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q missing", id)
+			}
+			table, err := eng.Run(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := table.String()
+			want, err := os.ReadFile(filepath.Join("testdata", id+"_tiny.golden"))
+			if err != nil {
+				t.Fatalf("missing golden file (run TestGoldenTables with -update first): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s table differs with the attribution plane attached — introspection is not passive\n--- want ---\n%s\n--- got ---\n%s",
 					id, want, got)
 			}
 		})

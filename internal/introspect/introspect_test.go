@@ -1,0 +1,303 @@
+package introspect
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/obs"
+)
+
+// TestCauseClassification walks one probe through each class: first
+// touch is compulsory, a cross-ASID eviction makes the re-miss
+// switch-induced, a same-ASID eviction with the key still in the shadow
+// LRU is a conflict, and a shadow overflow is capacity.
+func TestCauseClassification(t *testing.T) {
+	p := NewPlane(Config{Cores: 1})
+	pr := p.NewProbe("t", 2, 4, false)
+
+	pr.Miss(0, 10)
+	if got := pr.MissesByCause(Compulsory); got != 1 {
+		t.Fatalf("first miss compulsory = %d, want 1", got)
+	}
+
+	// ASID 1 installs key 10; ASID 2 displaces it: switch-induced.
+	pr.Fill(0, 10, 1)
+	pr.Evict(0, 10, 2)
+	pr.Miss(0, 10)
+	if got := pr.MissesByCause(SwitchInduced); got != 1 {
+		t.Fatalf("cross-ASID re-miss switch_induced = %d, want 1", got)
+	}
+	if pr.crossEvicts != 1 {
+		t.Fatalf("crossEvicts = %d, want 1", pr.crossEvicts)
+	}
+
+	// Same-ASID displacement, key still within shadow capacity: conflict.
+	pr.Fill(0, 10, 1)
+	pr.Evict(0, 10, 1)
+	pr.Miss(0, 10)
+	if got := pr.MissesByCause(Conflict); got != 1 {
+		t.Fatalf("same-ASID re-miss conflict = %d, want 1", got)
+	}
+
+	// Push key 10 out of the 4-entry shadow with 4 new keys, then re-miss
+	// it: capacity.
+	for k := uint64(100); k < 104; k++ {
+		pr.Miss(1, k)
+	}
+	pr.Miss(0, 10)
+	if got := pr.MissesByCause(Capacity); got != 1 {
+		t.Fatalf("overflow re-miss capacity = %d, want 1", got)
+	}
+
+	if pr.Misses() != 8 || pr.Hits() != 0 {
+		t.Fatalf("misses=%d hits=%d, want 8/0", pr.Misses(), pr.Hits())
+	}
+	if msg := pr.CheckAgainst(0, 8); msg != "" {
+		t.Fatalf("conservation: %s", msg)
+	}
+	if msg := pr.CheckAgainst(1, 8); msg == "" {
+		t.Fatal("CheckAgainst accepted wrong hit count")
+	}
+}
+
+// TestUnknownOwnerEvictionIsNotCross: entries installed before attach
+// (prewarm) have no ownership record; displacing them is never charged
+// as context-switch damage.
+func TestUnknownOwnerEvictionIsNotCross(t *testing.T) {
+	p := NewPlane(Config{Cores: 1})
+	pr := p.NewProbe("t", 1, 8, false)
+	pr.Hit(0, 42) // prewarm-resident key observed via a hit
+	pr.Evict(0, 42, 7)
+	if pr.crossEvicts != 0 {
+		t.Fatalf("unknown-owner eviction counted as cross-ASID")
+	}
+	pr.Miss(0, 42)
+	if got := pr.MissesByCause(SwitchInduced); got != 0 {
+		t.Fatalf("unknown-owner re-miss classified switch_induced")
+	}
+	// Seen via the hit, still in shadow: conflict, not compulsory.
+	if got := pr.MissesByCause(Conflict); got != 1 {
+		t.Fatalf("re-miss of hit key conflict = %d, want 1", got)
+	}
+}
+
+// TestCoreAttribution drives every core hook and checks the cycle
+// conservation law.
+func TestCoreAttribution(t *testing.T) {
+	p := NewPlane(Config{Cores: 2})
+	l2 := p.NewProbe("l2tlb", 4, 16, true)
+	c0 := p.Core(0)
+
+	c0.Compute(100)
+	p.SetCore(0)
+	l2.Miss(0, 5) // compulsory; sets core 0's translate cause
+	c0.TranslateStall(40)
+	c0.DataStall(25)
+	c0.DrainStall(3)
+
+	if msg := p.CheckCore(0, 168, 40, 25); msg != "" {
+		t.Fatalf("conservation: %s", msg)
+	}
+	if msg := p.CheckCore(0, 167, 40, 25); msg == "" {
+		t.Fatal("CheckCore accepted wrong cycle total")
+	}
+	r := p.Report()
+	if r.Cores[0].TranslateStallByCause["compulsory"] != 40 {
+		t.Fatalf("translate stall not bucketed by cause: %+v", r.Cores[0])
+	}
+
+	// A switch-induced L2 miss routes the stall into the refill ledger.
+	l2.Fill(0, 5, 1)
+	l2.Evict(0, 5, 2)
+	l2.Miss(0, 5)
+	c0.TranslateStall(17)
+	if p.ledger.totals.RefillCycles != 17 {
+		t.Fatalf("refill cycles = %d, want 17", p.ledger.totals.RefillCycles)
+	}
+	if msg := p.CheckLedger(); msg != "" {
+		t.Fatalf("ledger conservation: %s", msg)
+	}
+}
+
+// TestLedgerWindows checks window open/close bookkeeping, damage
+// charging via the current-core register, and the warmup reset.
+func TestLedgerWindows(t *testing.T) {
+	p := NewPlane(Config{Cores: 1, LedgerCap: 1})
+	p.SetContext(0, 1)
+	p.SetPartitionReader(func() (int, int) { return 10, 12 })
+	pr := p.NewProbe("t", 1, 4, false)
+	c := p.Core(0)
+
+	pr.Fill(0, 9, 1)
+	pr.Evict(0, 9, 2) // cross damage charged to core 0's open window
+	c.Switch(1000, 1, 2)
+	c.Switch(2000, 2, 1) // second close overflows LedgerCap 1
+
+	l := p.Report().Ledger
+	if l.Totals.Switches != 2 || l.Totals.Evictions != 1 {
+		t.Fatalf("totals = %+v", l.Totals)
+	}
+	if len(l.Records) != 1 || l.Dropped != 1 {
+		t.Fatalf("records=%d dropped=%d, want 1/1", len(l.Records), l.Dropped)
+	}
+	rec := l.Records[0]
+	if rec.Evictions != 1 || rec.EndCycle != 1000 || rec.FromASID != 1 || rec.ToASID != 1 {
+		t.Fatalf("first window = %+v", rec)
+	}
+	if rec.L2DataWays != 10 || rec.L3DataWays != 12 {
+		t.Fatalf("way split not stamped: %+v", rec)
+	}
+	if p.Generation() != 2 {
+		t.Fatalf("generation = %d, want 2", p.Generation())
+	}
+
+	p.ResetMeasured()
+	l = p.Report().Ledger
+	if l.Totals != (SwitchTotals{}) || len(l.Records) != 0 || l.Dropped != 0 {
+		t.Fatalf("ledger not reset: %+v", l)
+	}
+	if l.Open[0].ToASID != 1 {
+		t.Fatalf("open window lost identity on reset: %+v", l.Open[0])
+	}
+}
+
+// TestPhaseDetector feeds a flat region then a step change in IPC and
+// expects exactly one boundary.
+func TestPhaseDetector(t *testing.T) {
+	p := NewPlane(Config{Cores: 1, PhaseThreshold: 0.25})
+	instr, cycle := uint64(0), uint64(0)
+	for i := 0; i < 5; i++ { // IPC 1.0 windows
+		instr += 1000
+		cycle += 1000
+		p.PhaseSample(instr, cycle)
+	}
+	for i := 0; i < 3; i++ { // IPC 0.5 windows
+		instr += 1000
+		cycle += 2000
+		p.PhaseSample(instr, cycle)
+	}
+	b := p.PhaseBoundaries()
+	if len(b) != 1 {
+		t.Fatalf("boundaries = %d, want 1 (%+v)", len(b), b)
+	}
+	if b[0].IPCBefore != 1 || b[0].IPCAfter != 0.5 {
+		t.Fatalf("boundary rates = %+v", b[0])
+	}
+	if p.PhaseCount() != 1 {
+		t.Fatalf("PhaseCount = %d", p.PhaseCount())
+	}
+}
+
+// TestDRAMAndWalkAttribution covers the class-split queue accounting and
+// the depth histogram, including their conservation helpers.
+func TestDRAMAndWalkAttribution(t *testing.T) {
+	p := NewPlane(Config{Cores: 1})
+	d := p.NewDRAMProbe("dram.ddr")
+	p.SetAccess(0, false)
+	d.QueueWait(10)
+	p.SetAccess(0, true)
+	d.QueueWait(7)
+	d.QueueWait(0)
+	if d.wait != [2]uint64{10, 7} || d.waits != [2]uint64{1, 2} {
+		t.Fatalf("dram split = %v / %v", d.wait, d.waits)
+	}
+	if msg := d.CheckAgainst(17, 3); msg != "" {
+		t.Fatalf("dram conservation: %s", msg)
+	}
+	if msg := d.CheckAgainst(16, 3); msg == "" {
+		t.Fatal("dram CheckAgainst accepted wrong sum")
+	}
+
+	w := p.NewWalkProbe("walker.0")
+	w.Walk(4, 100)
+	w.Walk(4, 50)
+	w.Walk(99, 10) // clamps to MaxWalkDepth
+	if msg := w.CheckAgainst(3, 160); msg != "" {
+		t.Fatalf("walk conservation: %s", msg)
+	}
+	r := p.Report()
+	if len(r.Walkers[0].ByDepth) != 2 || r.Walkers[0].ByDepth[1].Depth != MaxWalkDepth {
+		t.Fatalf("walk depth buckets = %+v", r.Walkers[0].ByDepth)
+	}
+}
+
+// TestReportDeterminism: two identically driven planes encode to
+// identical bytes, and the heatmap CSV folds sets as documented.
+func TestReportDeterminism(t *testing.T) {
+	build := func() *Plane {
+		p := NewPlane(Config{Cores: 2})
+		p.SetContext(0, 1)
+		p.SetContext(1, 2)
+		pr := p.NewProbe("tlb.l2", 128, 512, true)
+		for k := uint64(0); k < 300; k++ {
+			pr.Miss(int(k)%128, k)
+			pr.Fill(int(k)%128, k, 1+k%2)
+		}
+		p.Core(0).Switch(500, 1, 2)
+		p.Core(0).Compute(100)
+		return p
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("report encoding is not deterministic")
+	}
+
+	var hm bytes.Buffer
+	if err := build().WriteHeatmapCSV(&hm); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(hm.String()), "\n")
+	if len(lines) != 1+HeatmapBuckets {
+		t.Fatalf("heatmap rows = %d, want %d", len(lines), 1+HeatmapBuckets)
+	}
+	if lines[0] != "structure,bucket,sets,accesses,misses,evictions" {
+		t.Fatalf("heatmap header = %q", lines[0])
+	}
+}
+
+// TestRegisterMetrics: counters land in the registry with bracketed
+// cause labels and snapshot cleanly.
+func TestRegisterMetrics(t *testing.T) {
+	p := NewPlane(Config{Cores: 1})
+	pr := p.NewProbe("tlb.l2", 4, 16, true)
+	p.NewDRAMProbe("dram.ddr")
+	p.NewWalkProbe("walker.0")
+	pr.Miss(0, 1)
+	r := obs.NewRegistry()
+	p.RegisterMetrics(r)
+	snap := r.Snapshot()
+	if v, ok := snap["introspect.tlb.l2"]["misses[cause=compulsory]"].(float64); !ok || v != 1 {
+		t.Fatalf("cause-labelled counter missing or wrong: %v", snap["introspect.tlb.l2"])
+	}
+	if _, ok := snap["introspect.sim"]["context_switches"]; !ok {
+		t.Fatal("introspect.sim group missing")
+	}
+}
+
+// TestResetMeasuredKeepsClassification: the warmup reset zeroes counters
+// but a key seen before the reset still classifies from history.
+func TestResetMeasuredKeepsClassification(t *testing.T) {
+	p := NewPlane(Config{Cores: 1})
+	pr := p.NewProbe("t", 1, 8, false)
+	pr.Miss(0, 3)
+	pr.Fill(0, 3, 1)
+	pr.Evict(0, 3, 2)
+	p.ResetMeasured()
+	if pr.Misses() != 0 || p.TotalCrossEvictions() != 0 {
+		t.Fatalf("counters survived reset: misses=%d", pr.Misses())
+	}
+	pr.Miss(0, 3)
+	if got := pr.MissesByCause(SwitchInduced); got != 1 {
+		t.Fatalf("post-reset classification lost eviction history: %+v", pr.miss)
+	}
+	if msg := p.CheckLedger(); msg != "" {
+		t.Fatalf("ledger conservation after reset: %s", msg)
+	}
+}

@@ -1,0 +1,103 @@
+package introspect
+
+// SwitchRecord is one scheduling window of one core: opened by a context
+// switch (or the start of the run), closed by the next switch on the
+// same core. The damage fields charge every cross-ASID eviction,
+// switch-induced miss and switch-induced refill stall observed anywhere
+// in the hierarchy while this core drove the access.
+type SwitchRecord struct {
+	// Seq is the global switch sequence number that opened this window
+	// (0 for the implicit first window of each core).
+	Seq  uint64 `json:"seq"`
+	Core int    `json:"core"`
+	// Cycle is the core cycle at which the window opened.
+	Cycle    uint64 `json:"cycle"`
+	FromASID uint64 `json:"from_asid"`
+	ToASID   uint64 `json:"to_asid"`
+	// L2DataWays/L3DataWays are the CSALT data-way splits at window open;
+	// the deltas record repartitioning during the window (split at close
+	// minus split at open).
+	L2DataWays  int `json:"l2_data_ways"`
+	L3DataWays  int `json:"l3_data_ways"`
+	L2WaysDelta int `json:"l2_ways_delta"`
+	L3WaysDelta int `json:"l3_ways_delta"`
+	// Evictions counts entries this window's accesses displaced out from
+	// under other address spaces (entries invalidated, in the paper's
+	// terms); SwitchMisses counts the misses those earlier displacements
+	// now cost this window; RefillCycles is the blocking translate-stall
+	// cost of the switch-induced misses.
+	Evictions    uint64 `json:"evictions"`
+	SwitchMisses uint64 `json:"switch_misses"`
+	RefillCycles uint64 `json:"refill_cycles"`
+	// EndCycle is the core cycle at which the window closed (0 while
+	// open).
+	EndCycle uint64 `json:"end_cycle"`
+}
+
+// SwitchTotals aggregates damage across every scheduling window,
+// including windows dropped past the ledger cap and the still-open ones.
+type SwitchTotals struct {
+	Switches     uint64 `json:"switches"`
+	Evictions    uint64 `json:"evictions"`
+	SwitchMisses uint64 `json:"switch_misses"`
+	RefillCycles uint64 `json:"refill_cycles"`
+}
+
+// ledger is the per-context-switch damage ledger: one open window per
+// core, a bounded list of closed windows, and running totals.
+type ledger struct {
+	cap     int
+	open    []SwitchRecord
+	closed  []SwitchRecord
+	dropped uint64
+	totals  SwitchTotals
+}
+
+func (l *ledger) init(cores, cap int) {
+	l.cap = cap
+	l.open = make([]SwitchRecord, cores)
+	for i := range l.open {
+		l.open[i].Core = i
+	}
+}
+
+// switchAt closes core's open window at cycle and opens the next one.
+func (l *ledger) switchAt(p *Plane, core int, cycle, fromASID, toASID uint64) {
+	l.totals.Switches++
+	l2, l3 := p.ways()
+	rec := l.open[core]
+	rec.EndCycle = cycle
+	rec.L2WaysDelta = l2 - rec.L2DataWays
+	rec.L3WaysDelta = l3 - rec.L3DataWays
+	if len(l.closed) < l.cap {
+		l.closed = append(l.closed, rec)
+	} else {
+		l.dropped++
+	}
+	p.tr.SwitchDamage(cycle, core, rec.Seq, rec.Evictions, rec.SwitchMisses, rec.RefillCycles)
+	l.open[core] = SwitchRecord{
+		Seq:        l.totals.Switches,
+		Core:       core,
+		Cycle:      cycle,
+		FromASID:   fromASID,
+		ToASID:     toASID,
+		L2DataWays: l2,
+		L3DataWays: l3,
+	}
+}
+
+// resetMeasured re-anchors the ledger at the warmup boundary: closed
+// windows, drop count and totals are discarded, and each core's open
+// window keeps its identity (ASIDs, way split) but loses the damage
+// accrued during warmup.
+func (l *ledger) resetMeasured() {
+	l.closed = l.closed[:0]
+	l.dropped = 0
+	l.totals = SwitchTotals{}
+	for i := range l.open {
+		l.open[i].Seq = 0
+		l.open[i].Evictions = 0
+		l.open[i].SwitchMisses = 0
+		l.open[i].RefillCycles = 0
+	}
+}

@@ -144,9 +144,10 @@ func (pw *PromWriter) AddRegistry(r *Registry, snap Snapshot, prefix string, lab
 			} else {
 				v = m.get()
 			}
-			name := prefix + "_" + gname + "_" + m.name
-			help := fmt.Sprintf("%s %s of %s.", gname, m.name, m.kind)
-			pw.scalar(name, help, m.kind.String(), labels, v)
+			base, mlabels := splitNameLabels(m.name, labels)
+			name := prefix + "_" + gname + "_" + base
+			help := fmt.Sprintf("%s %s of %s.", gname, base, m.kind)
+			pw.scalar(name, help, m.kind.String(), mlabels, v)
 		}
 		for _, he := range g.hists {
 			var hs HistSnapshot
@@ -159,9 +160,10 @@ func (pw *PromWriter) AddRegistry(r *Registry, snap Snapshot, prefix string, lab
 			} else {
 				hs = snapshotHist(he.h)
 			}
-			name := prefix + "_" + gname + "_" + he.name
-			help := fmt.Sprintf("%s %s log2 histogram.", gname, he.name)
-			pw.Histogram(name, help, labels, hs)
+			base, hlabels := splitNameLabels(he.name, labels)
+			name := prefix + "_" + gname + "_" + base
+			help := fmt.Sprintf("%s %s log2 histogram.", gname, base)
+			pw.Histogram(name, help, hlabels, hs)
 		}
 	}
 }
@@ -188,6 +190,28 @@ func (pw *PromWriter) Write(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// splitNameLabels parses the registry's bracketed label-suffix
+// convention — a metric registered as "misses[cause=capacity]" exposes
+// as family "misses" with a cause="capacity" label — returning the base
+// name and the run labels merged with the parsed pairs. Names without a
+// well-formed "[k=v,...]" suffix pass through untouched, labels shared.
+func splitNameLabels(name string, labels []Label) (string, []Label) {
+	i := strings.IndexByte(name, '[')
+	if i < 0 || !strings.HasSuffix(name, "]") {
+		return name, labels
+	}
+	base, spec := name[:i], name[i+1:len(name)-1]
+	merged := append(make([]Label, 0, len(labels)+2), labels...)
+	for _, kv := range strings.Split(spec, ",") {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return name, labels // malformed suffix: leave the name as-is
+		}
+		merged = append(merged, Label{Name: kv[:eq], Value: kv[eq+1:]})
+	}
+	return base, merged
 }
 
 // MangleMetricName maps an arbitrary dotted/dashed name onto the

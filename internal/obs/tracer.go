@@ -22,6 +22,12 @@ const (
 	EvPOMFill
 	// EvPOMEvict: a valid POM-TLB entry was displaced by a fill.
 	EvPOMEvict
+	// EvSwitchDamage: the introspection plane closed one scheduling
+	// window, summarising the context-switch damage charged to it.
+	EvSwitchDamage
+	// EvPhase: the introspection plane's online detector crossed an
+	// IPC/MPKI change-point and opened a new execution phase.
+	EvPhase
 	numEventKinds
 )
 
@@ -36,6 +42,10 @@ func (k EventKind) String() string {
 		return "pom_fill"
 	case EvPOMEvict:
 		return "pom_evict"
+	case EvSwitchDamage:
+		return "switch_damage"
+	case EvPhase:
+		return "phase"
 	default:
 		return "unknown"
 	}
@@ -70,8 +80,12 @@ func ParseEvents(spec string) (EventMask, error) {
 			m |= EvPOMFill.Mask()
 		case EvPOMEvict.String():
 			m |= EvPOMEvict.Mask()
+		case EvSwitchDamage.String():
+			m |= EvSwitchDamage.Mask()
+		case EvPhase.String():
+			m |= EvPhase.Mask()
 		default:
-			return 0, fmt.Errorf("obs: unknown trace event %q (context_switch|repartition|pom_fill|pom_evict|pom|all|none)", f)
+			return 0, fmt.Errorf("obs: unknown trace event %q (context_switch|repartition|pom_fill|pom_evict|switch_damage|phase|pom|all|none)", f)
 		}
 	}
 	return m, nil
@@ -243,6 +257,40 @@ func (t *Tracer) POMEvict(cycle uint64, asid, vpn uint64) {
 	}
 	t.writef("{\"seq\":%d,\"event\":\"pom_evict\",\"cycle\":%d,\"asid\":%d,\"vpn\":%d}\n",
 		seq, cycle, asid, vpn)
+}
+
+// SwitchDamage records one closed scheduling window of the introspection
+// plane: the global switch sequence number that opened it plus the
+// context-switch damage charged to it (cross-ASID evictions,
+// switch-induced misses, refill stall cycles).
+func (t *Tracer) SwitchDamage(cycle uint64, core int, seq, evictions, switchMisses, refillCycles uint64) {
+	if !t.Enabled(EvSwitchDamage) {
+		return
+	}
+	tseq := t.begin(EvSwitchDamage)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"switch_damage","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"window":%d,"evictions":%d,"switch_misses":%d,"refill_cycles":%d}}`,
+			cycle, core, seq, evictions, switchMisses, refillCycles)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"switch_damage\",\"cycle\":%d,\"core\":%d,\"window\":%d,\"evictions\":%d,\"switch_misses\":%d,\"refill_cycles\":%d}\n",
+		tseq, cycle, core, seq, evictions, switchMisses, refillCycles)
+}
+
+// Phase records one detected execution-phase boundary with the windowed
+// IPC/MPKI on each side.
+func (t *Tracer) Phase(cycle, window uint64, ipcBefore, ipcAfter, mpkiBefore, mpkiAfter float64) {
+	if !t.Enabled(EvPhase) {
+		return
+	}
+	seq := t.begin(EvPhase)
+	if t.format == FormatChrome {
+		t.writef(`{"name":"phase","ph":"i","ts":%d,"pid":0,"tid":0,"s":"g","args":{"window":%d,"ipc_before":%.4f,"ipc_after":%.4f,"mpki_before":%.4f,"mpki_after":%.4f}}`,
+			cycle, window, ipcBefore, ipcAfter, mpkiBefore, mpkiAfter)
+		return
+	}
+	t.writef("{\"seq\":%d,\"event\":\"phase\",\"cycle\":%d,\"window\":%d,\"ipc_before\":%.4f,\"ipc_after\":%.4f,\"mpki_before\":%.4f,\"mpki_after\":%.4f}\n",
+		seq, cycle, window, ipcBefore, ipcAfter, mpkiBefore, mpkiAfter)
 }
 
 // Close finishes the trace (the Chrome array is terminated) and flushes

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/csalt-sim/csalt/internal/core"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/workload"
 )
 
@@ -53,6 +54,47 @@ func TestFastEngineStepZeroAllocs(t *testing.T) {
 	}
 	if avg := measureStepAllocs(t, steadySystem(t, nil)); avg != 0 {
 		t.Errorf("fast engine step allocates %v objects/ref, want 0", avg)
+	}
+}
+
+// TestFastEngineStepZeroAllocsIntrospectionDisabled: the introspection
+// hook sites added to every hot path (TLB lookup/insert, cache
+// lookup/fill, DRAM queueing, walker completion, every core
+// cycle-advance) must compile down to one nil compare each when no plane
+// is attached — the steady-state step still touches no allocator.
+func TestFastEngineStepZeroAllocsIntrospectionDisabled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	sys := steadySystem(t, nil)
+	if sys.Introspection() != nil {
+		t.Fatal("steadySystem unexpectedly has an attribution plane attached")
+	}
+	if avg := measureStepAllocs(t, sys); avg != 0 {
+		t.Errorf("step with introspection disabled allocates %v objects/ref, want 0", avg)
+	}
+}
+
+// TestFastEngineStepZeroAllocsIntrospectionAttached: even with the
+// attribution plane live — classification maps, shadow LRUs, heatmaps,
+// ledger — the steady-state step stays allocation-free: the shadow LRU
+// is an index-linked arena and the classification maps stop growing once
+// the working set has been seen.
+func TestFastEngineStepZeroAllocsIntrospectionAttached(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	cfg := tinyConfig()
+	cfg.Mix = workload.Mix{ID: "gups", VM1: workload.GUPS, VM2: workload.GUPS}
+	sys := MustNew(cfg)
+	sys.AttachIntrospection(introspect.NewPlane(introspect.Config{Cores: cfg.Cores}))
+	for i := 0; i < 20_000; i++ {
+		if ok, err := sys.Cores()[0].Step(); err != nil || !ok {
+			t.Fatalf("warm step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if avg := measureStepAllocs(t, sys); avg != 0 {
+		t.Errorf("step with introspection attached allocates %v objects/ref, want 0", avg)
 	}
 }
 

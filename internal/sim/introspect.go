@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/dram"
+	"github.com/csalt-sim/csalt/internal/introspect"
+	"github.com/csalt-sim/csalt/internal/tlb"
+)
+
+// introCheck is one attribution conservation law, paired at attach time so
+// the invariant layer can cross-check each probe against the component
+// counters it mirrors.
+type introCheck struct {
+	name string
+	fn   func() string
+}
+
+// AttachIntrospection wires a cycle/miss-attribution plane into an already
+// constructed system: structure probes onto every TLB level, the POM-TLB
+// and every cache, class-split queue-wait probes onto both DRAM devices,
+// depth probes onto the walkers, and cycle-attribution probes onto the
+// cores. Call it after New — and after AttachObserver when both planes are
+// wanted, so the plane inherits the observer's tracer and registry — and
+// before Run. Attribution is read-only: an attached run takes the exact
+// same simulation path (same Results, same metrics digest) as an
+// unattached one; the unattached run loop pays one nil compare per step.
+func (s *System) AttachIntrospection(p *introspect.Plane) {
+	if p == nil {
+		return
+	}
+	s.intro = p
+	m := s.mem
+	m.intro = p
+
+	for i, c := range s.cores {
+		i, c := i, c
+		c.SetIntrospect(p.Core(i))
+		p.SetContext(i, uint64(c.CurrentASID()))
+		s.introChecks = append(s.introChecks, introCheck{
+			name: fmt.Sprintf("introspect.core.%d.attribution", i),
+			fn: func() string {
+				return p.CheckCore(i, c.Cycle(), c.Stats.TranslateStall.Value(), c.Stats.DataStall.Value())
+			},
+		})
+	}
+
+	probeTLB := func(t *tlb.TLB, translate bool) {
+		pr := p.NewProbe(t.Name(), t.Sets(), t.Entries(), translate)
+		t.SetIntrospect(pr)
+		s.introChecks = append(s.introChecks, introCheck{
+			name: "introspect." + t.Name() + ".conservation",
+			fn: func() string {
+				return pr.CheckAgainst(t.Accesses.Hits.Value(), t.Accesses.Misses.Value())
+			},
+		})
+	}
+	seenL2 := make(map[string]bool)
+	for i := range m.l1tlb {
+		probeTLB(m.l1tlb[i], false)
+		probeTLB(m.l1tlb2[i], false)
+		// A shared L2 TLB appears once per core in the slice.
+		if name := m.l2tlb[i].Name(); !seenL2[name] {
+			seenL2[name] = true
+			probeTLB(m.l2tlb[i], true)
+		}
+	}
+	if pom := m.pom; pom != nil {
+		pr := p.NewProbe("pom", pom.Sets(), pom.Sets()*tlb.EntriesPerLine, false)
+		pom.SetIntrospect(pr)
+		s.introChecks = append(s.introChecks, introCheck{
+			name: "introspect.pom.conservation",
+			fn: func() string {
+				return pr.CheckAgainst(pom.Accesses.Hits.Value(), pom.Accesses.Misses.Value())
+			},
+		})
+	}
+
+	probeCache := func(c *cache.Cache) {
+		pr := p.NewProbe(c.Name(), c.Sets(), c.Sets()*c.Ways(), false)
+		c.SetIntrospect(pr)
+		s.introChecks = append(s.introChecks, introCheck{
+			name: "introspect." + c.Name() + ".conservation",
+			fn: func() string {
+				hits := c.Stats.ByType[cache.Data].Hits.Value() + c.Stats.ByType[cache.Translation].Hits.Value()
+				return pr.CheckAgainst(hits, c.Stats.Misses())
+			},
+		})
+	}
+	for i := range m.l1d {
+		probeCache(m.l1d[i])
+		probeCache(m.l2[i])
+	}
+	probeCache(m.l3)
+
+	for _, d := range []*dram.DRAM{m.ddr, m.stacked} {
+		d := d
+		dp := p.NewDRAMProbe(d.Name())
+		d.SetIntrospect(dp)
+		s.introChecks = append(s.introChecks, introCheck{
+			name: "introspect." + d.Name() + ".conservation",
+			fn: func() string {
+				return dp.CheckAgainst(d.Stats.QueueWait.Sum(), d.Stats.QueueWait.Total())
+			},
+		})
+	}
+	for i, w := range m.walkers {
+		w := w
+		wp := p.NewWalkProbe(fmt.Sprintf("walker%d", i))
+		w.SetIntrospect(wp)
+		s.introChecks = append(s.introChecks, introCheck{
+			name: fmt.Sprintf("introspect.walker%d.conservation", i),
+			fn: func() string {
+				return wp.CheckAgainst(w.Stats.WalksCompleted.Value(), w.Stats.WalkCyclesHist.Sum())
+			},
+		})
+	}
+	s.introChecks = append(s.introChecks, introCheck{name: "introspect.ledger", fn: p.CheckLedger})
+
+	p.SetPartitionReader(func() (int, int) { return m.l2[0].Partition(), m.l3.Partition() })
+
+	if s.obs != nil {
+		if s.obs.Tracer != nil {
+			p.SetTrace(s.obs.Tracer)
+		}
+		if s.obs.Registry != nil {
+			p.RegisterMetrics(s.obs.Registry)
+		}
+	}
+}
+
+// Introspection returns the attached attribution plane, or nil.
+func (s *System) Introspection() *introspect.Plane { return s.intro }
+
+// phaseSample feeds the phase detector one window sample: total retired
+// instructions and the leading core clock (both monotone, so the warmup
+// counter reset cannot produce a negative window).
+func (s *System) phaseSample() {
+	var instr, cycle uint64
+	for _, c := range s.cores {
+		instr += c.Stats.Instructions.Value()
+		if cy := c.Cycle(); cy > cycle {
+			cycle = cy
+		}
+	}
+	s.intro.PhaseSample(instr, cycle)
+}

@@ -118,6 +118,13 @@ func (s *System) buildInvariants() {
 	conserve(cheap, "dram."+m.ddr.Name()+".conservation", m.ddr.CheckConservation)
 	conserve(cheap, "dram."+m.stacked.Name()+".conservation", m.stacked.CheckConservation)
 
+	// Attribution conservation: every probe's cause buckets must sum to the
+	// component counters it shadows (registered only when a plane is attached).
+	for _, ic := range s.introChecks {
+		ic := ic
+		conserve(cheap, ic.name, ic.fn)
+	}
+
 	s.inv.cheap, s.inv.structural = cheap, structural
 }
 

@@ -6,6 +6,7 @@ import (
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/core"
 	"github.com/csalt-sim/csalt/internal/dram"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/stats"
 	"github.com/csalt-sim/csalt/internal/tlb"
@@ -76,6 +77,10 @@ type memSystem struct {
 
 	l2AccSinceScan uint64
 	l3AccSinceScan uint64
+
+	// intro holds the attribution plane's current-accessor registers; nil
+	// unless AttachIntrospection was called.
+	intro *introspect.Plane
 
 	Stats memStats
 }
@@ -385,6 +390,9 @@ func (m *memSystem) occupancyTick() {
 // (POM lines, TSB lines, PTE lines) enter at the L2, the level the paper's
 // schemes manage.
 func (m *memSystem) Access(now uint64, addr mem.PAddr, write bool, typ cache.LineType, coreID int) uint64 {
+	if m.intro != nil {
+		m.intro.SetAccess(coreID, typ == cache.Translation)
+	}
 	t := now
 	if typ == cache.Data {
 		l1 := m.l1d[coreID]

@@ -23,6 +23,9 @@ var samplerColumns = []string{
 	"dram_queue_wait_mean",
 	"sdat",
 	"str",
+	"switch_induced_misses",
+	"cross_asid_evictions",
+	"phase_boundaries",
 }
 
 // sampleBase holds the running totals a sampling epoch is differenced
@@ -39,6 +42,11 @@ type sampleBase struct {
 	contextSwitches uint64
 	queueWaitSum    uint64
 	queueWaitN      uint64
+
+	// Attribution plane totals; zero when no plane is attached.
+	switchMisses    uint64
+	crossEvictions  uint64
+	phaseBoundaries uint64
 }
 
 // AttachObserver wires an observer into an already constructed system:
@@ -152,6 +160,11 @@ func (s *System) totals() sampleBase {
 	b.pageWalks = m.Stats.PageWalks.Value()
 	b.queueWaitSum = m.ddr.Stats.QueueWait.Sum() + m.stacked.Stats.QueueWait.Sum()
 	b.queueWaitN = m.ddr.Stats.QueueWait.Total() + m.stacked.Stats.QueueWait.Total()
+	if s.intro != nil {
+		b.switchMisses = s.intro.TotalSwitchMisses()
+		b.crossEvictions = s.intro.TotalCrossEvictions()
+		b.phaseBoundaries = uint64(s.intro.PhaseCount())
+	}
 	return b
 }
 
@@ -203,6 +216,9 @@ func (s *System) sample() {
 		ratio(cur.queueWaitSum-prev.queueWaitSum, cur.queueWaitN-prev.queueWaitN),
 		sDat,
 		sTr,
+		float64(cur.switchMisses - prev.switchMisses),
+		float64(cur.crossEvictions - prev.crossEvictions),
+		float64(cur.phaseBoundaries - prev.phaseBoundaries),
 	}
 	s.obs.Sampler.Offer(row)
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"github.com/csalt-sim/csalt/internal/cpu"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/trace"
@@ -40,6 +41,12 @@ type System struct {
 	sinceSample uint64
 	sampleSeq   uint64
 	sampleBase  sampleBase
+
+	// Attribution plane (nil unless AttachIntrospection was called). The
+	// run loop's only added cost when detached is one nil compare per step.
+	intro       *introspect.Plane
+	introRefs   uint64
+	introChecks []introCheck
 
 	// Forward-progress watchdog (disabled unless SetStallLimit was called).
 	dog watchdog
@@ -223,6 +230,13 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 					s.sample()
 				}
 			}
+			if s.intro != nil {
+				s.introRefs++
+				if s.introRefs >= s.intro.PhaseEvery() {
+					s.introRefs = 0
+					s.phaseSample()
+				}
+			}
 			if !warmed {
 				crossed := true
 				for _, c := range s.cores {
@@ -234,6 +248,11 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 				if crossed {
 					warmed = true
 					s.mem.resetStats()
+					if s.intro != nil {
+						// The component counters under the probes just
+						// reset; measured attribution resets with them.
+						s.intro.ResetMeasured()
+					}
 					s.takeSnaps()
 					if s.obs != nil && s.obs.Sampler != nil {
 						// The reset zeroed the counters under the sampler's

@@ -24,6 +24,9 @@ func (m *memSystem) installTLBs(coreID int, v mem.VAddr, asid mem.ASID, frame me
 // configured organisation — straight to the page walker (conventional),
 // through the data caches to the POM-TLB, or through the TSB chain.
 func (m *memSystem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int) (uint64, mem.PAddr, bool, error) {
+	if m.intro != nil {
+		m.intro.SetCore(coreID)
+	}
 	var vm *vmState
 	if int(asid) < len(m.vmByASID) {
 		vm = m.vmByASID[asid]

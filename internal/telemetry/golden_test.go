@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/obs"
 )
 
@@ -23,9 +24,12 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // family ordering, label rendering and escaping, HELP/TYPE headers, and
 // float formatting. Engine and server self-metrics are excluded (they
 // carry wall-clock-dependent values); the golden covers the per-run
-// source rendering, which is the bulk of the exposition.
+// source rendering, which is the bulk of the exposition. The attribution
+// plane is attached so the golden also pins the introspect.* families —
+// per-cause miss counters rendered as cause="..." labels.
 func TestMetricsGolden(t *testing.T) {
 	sys, o := observedSystem(t, "golden")
+	sys.AttachIntrospection(introspect.NewPlane(introspect.Config{Cores: sys.Config().Cores}))
 	if _, err := sys.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -39,6 +43,11 @@ func TestMetricsGolden(t *testing.T) {
 
 	if err := validatePromText(got); err != nil {
 		t.Fatalf("rendered exposition is not valid Prometheus text: %v", err)
+	}
+	for _, want := range []string{`cause="switch_induced"`, `cause="compulsory"`, `cause="capacity"`, `cause="conflict"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing attribution label %s", want)
+		}
 	}
 
 	golden := filepath.Join("testdata", "metrics.golden")

@@ -141,6 +141,7 @@ func (t *TLB) lookupFlat(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, b
 		want := packKM(vpn, asid, mem.Page4K)
 		if frame, ok := t.fs.probe(want, t.set(vpn)*t.ways, t.ways, &t.next); ok {
 			t.Accesses.Hit()
+			t.introspectHit(v, asid, mem.Page4K)
 			return frame, mem.Page4K, true
 		}
 	}
@@ -149,16 +150,26 @@ func (t *TLB) lookupFlat(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, b
 		want := packKM(vpn, asid, mem.Page2M)
 		if frame, ok := t.fs.probe(want, t.set(vpn)*t.ways, t.ways, &t.next); ok {
 			t.Accesses.Hit()
+			t.introspectHit(v, asid, mem.Page2M)
 			return frame, mem.Page2M, true
 		}
 	}
 	t.Accesses.Miss()
+	t.introspectMiss(v, asid)
 	return 0, 0, false
 }
 
 func (t *TLB) insertFlat(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageSize) {
 	vpn := mem.PageNumber(v, size)
-	_, _ = t.fs.insert(packKM(vpn, asid, size), frame, t.set(vpn)*t.ways, t.ways, &t.next)
+	want := packKM(vpn, asid, size)
+	evictKM, refreshed := t.fs.insert(want, frame, t.set(vpn)*t.ways, t.ways, &t.next)
+	if t.ip == nil || refreshed {
+		return
+	}
+	if evictKM != 0 {
+		t.ip.Evict(t.set(vpn), evictKM, uint64(asid))
+	}
+	t.ip.Fill(t.set(vpn), want, uint64(asid))
 }
 
 func (t *TLB) flushASIDFlat(asid mem.ASID) {
@@ -265,6 +276,9 @@ func (p *POM) insertFlat(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PAddr
 	if ev := kms[victim]; ev&pomValid != 0 {
 		p.tr.POMEvict(now, (ev>>pomASIDSh)&0xFFFF, ev>>pomVPNSh)
 		p.nBySize[(ev>>pomSizeSh)&1]--
+		if p.ip != nil {
+			p.ip.Evict(base/pomSetStride, ev&^pomRankMask, uint64(asid))
+		}
 	}
 	kms[victim] = want
 	p.fw[base+EntriesPerLine+victim] = uint64(frame)
@@ -272,6 +286,9 @@ func (p *POM) insertFlat(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PAddr
 	p.nBySize[size&1]++
 	p.Inserts.Inc()
 	p.tr.POMFill(now, uint64(asid), vpn)
+	if p.ip != nil {
+		p.ip.Fill(base/pomSetStride, want, uint64(asid))
+	}
 }
 
 func (p *POM) utilizationFlat() float64 {

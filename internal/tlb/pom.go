@@ -3,6 +3,7 @@ package tlb
 import (
 	"fmt"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -32,6 +33,8 @@ type POM struct {
 
 	// tr receives fill/evict events; nil keeps the insert path silent.
 	tr *obs.Tracer
+	// ip receives attribution hooks; nil unless a plane is attached.
+	ip *introspect.Probe
 
 	Accesses stats.HitRate
 	Inserts  stats.Counter
@@ -42,6 +45,29 @@ type POM struct {
 
 // SetTrace attaches an event tracer; nil detaches.
 func (p *POM) SetTrace(t *obs.Tracer) { p.tr = t }
+
+// Sets returns the number of sets (lines).
+func (p *POM) Sets() int { return int(p.sets) }
+
+// SetIntrospect attaches an attribution probe; both entry layouts feed
+// it identical decoded keys, so attribution is engine-invariant.
+func (p *POM) SetIntrospect(pr *introspect.Probe) { p.ip = pr }
+
+// introspectLookup records one probe outcome. Misses are keyed at 4 KB
+// (the size probed first and missed last), mirroring the TLB convention.
+func (p *POM) introspectLookup(v mem.VAddr, asid mem.ASID, size mem.PageSize, hit bool) {
+	if p.ip == nil {
+		return
+	}
+	vpn := mem.PageNumber(v, size)
+	set := int(p.setOf(vpn, asid, size))
+	key := packPOM(vpn, asid, size)
+	if hit {
+		p.ip.Hit(set, key)
+	} else {
+		p.ip.Miss(set, key)
+	}
+}
 
 // RegisterMetrics publishes the POM-TLB's counters into an observability
 // group. Closures keep the reads live (see cpu.RegisterMetrics).
@@ -169,9 +195,11 @@ func (p *POM) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, bool) {
 	p.Lookups.Inc()
 	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
 		p.Accesses.Hit()
+		p.introspectLookup(v, asid, mem.Page4K, true)
 		return frame, true
 	}
 	p.Accesses.Miss()
+	p.introspectLookup(v, asid, mem.Page4K, false)
 	return 0, false
 }
 
@@ -182,13 +210,16 @@ func (p *POM) LookupAnySize(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize
 	p.Lookups.Inc()
 	if frame, ok := p.probe(v, asid, mem.Page4K); ok {
 		p.Accesses.Hit()
+		p.introspectLookup(v, asid, mem.Page4K, true)
 		return frame, mem.Page4K, true
 	}
 	if frame, ok := p.probe(v, asid, mem.Page2M); ok {
 		p.Accesses.Hit()
+		p.introspectLookup(v, asid, mem.Page2M, true)
 		return frame, mem.Page2M, true
 	}
 	p.Accesses.Miss()
+	p.introspectLookup(v, asid, mem.Page4K, false)
 	return 0, 0, false
 }
 
@@ -239,11 +270,17 @@ func (p *POM) InsertSizedAt(now uint64, v mem.VAddr, asid mem.ASID, frame mem.PA
 	}
 	if ev := &p.entries[victim]; ev.valid {
 		p.tr.POMEvict(now, uint64(ev.asid), ev.vpn)
+		if p.ip != nil {
+			p.ip.Evict(int(p.setOf(vpn, asid, size)), packPOM(ev.vpn, ev.asid, ev.size), uint64(asid))
+		}
 	}
 	p.next++
 	p.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: p.next, valid: true}
 	p.Inserts.Inc()
 	p.tr.POMFill(now, uint64(asid), vpn)
+	if p.ip != nil {
+		p.ip.Fill(int(p.setOf(vpn, asid, size)), packPOM(vpn, asid, size), uint64(asid))
+	}
 }
 
 // ResetStats zeroes the hit/miss/insert/lookup counters together (warmup

@@ -10,6 +10,7 @@ package tlb
 import (
 	"fmt"
 
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/stats"
@@ -49,6 +50,7 @@ type TLB struct {
 	fs      flatState // flat layout (empty in reference mode)
 	flat    bool
 	next    uint64
+	ip      *introspect.Probe // nil unless an attribution plane is attached
 
 	Accesses stats.HitRate
 	// Lookups counts Lookup calls independently of the hit/miss split, so
@@ -92,6 +94,33 @@ func MustNew(cfg Config) *TLB {
 
 // Name returns the TLB's configured name.
 func (t *TLB) Name() string { return t.cfg.Name }
+
+// Sets returns the number of sets.
+func (t *TLB) Sets() int { return t.sets }
+
+// SetIntrospect attaches an attribution probe; both entry layouts feed
+// it identical decoded keys, so attribution is engine-invariant.
+func (t *TLB) SetIntrospect(p *introspect.Probe) { t.ip = p }
+
+// introspectHit records a lookup hit at the matched page size.
+func (t *TLB) introspectHit(v mem.VAddr, asid mem.ASID, size mem.PageSize) {
+	if t.ip == nil {
+		return
+	}
+	vpn := mem.PageNumber(v, size)
+	t.ip.Hit(t.set(vpn), packKM(vpn, asid, size))
+}
+
+// introspectMiss records a lookup miss. Misses key at 4 KB granularity:
+// the missing page's size is unknown at miss time, and each miss must
+// carry exactly one cause.
+func (t *TLB) introspectMiss(v mem.VAddr, asid mem.ASID) {
+	if t.ip == nil {
+		return
+	}
+	vpn := mem.PageNumber(v, mem.Page4K)
+	t.ip.Miss(t.set(vpn), packKM(vpn, asid, mem.Page4K))
+}
 
 // Latency returns the lookup latency in cycles.
 func (t *TLB) Latency() uint64 { return t.cfg.Latency }
@@ -139,13 +168,16 @@ func (t *TLB) Lookup(v mem.VAddr, asid mem.ASID) (mem.PAddr, mem.PageSize, bool)
 	}
 	if frame, ok := t.probe(v, asid, mem.Page4K); ok {
 		t.Accesses.Hit()
+		t.introspectHit(v, asid, mem.Page4K)
 		return frame, mem.Page4K, true
 	}
 	if frame, ok := t.probe(v, asid, mem.Page2M); ok {
 		t.Accesses.Hit()
+		t.introspectHit(v, asid, mem.Page2M)
 		return frame, mem.Page2M, true
 	}
 	t.Accesses.Miss()
+	t.introspectMiss(v, asid)
 	return 0, 0, false
 }
 
@@ -175,6 +207,12 @@ func (t *TLB) Insert(v mem.VAddr, asid mem.ASID, frame mem.PAddr, size mem.PageS
 		}
 	}
 	t.next++
+	if t.ip != nil {
+		if e := &t.entries[victim]; e.valid {
+			t.ip.Evict(t.set(vpn), packKM(e.vpn, e.asid, e.size), uint64(asid))
+		}
+		t.ip.Fill(t.set(vpn), packKM(vpn, asid, size), uint64(asid))
+	}
 	t.entries[victim] = entry{vpn: vpn, asid: asid, frame: frame, size: size, seq: t.next, valid: true}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/introspect"
 	"github.com/csalt-sim/csalt/internal/mem"
 	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/pagetable"
@@ -142,6 +143,8 @@ type Walker struct {
 	steps     []pagetable.Step // reusable walk buffer
 	hostSteps []pagetable.Step
 
+	ip *introspect.WalkProbe // nil unless an attribution plane is attached
+
 	Stats Stats
 }
 
@@ -167,6 +170,9 @@ func New(port MemoryPort, cfg Config) *Walker {
 
 // Register associates an address space with an ASID.
 func (w *Walker) Register(asid mem.ASID, s *Space) { w.spaces[asid] = s }
+
+// SetIntrospect attaches a walk-depth attribution probe.
+func (w *Walker) SetIntrospect(p *introspect.WalkProbe) { w.ip = p }
 
 // Space returns the registered space for asid.
 func (w *Walker) Space(asid mem.ASID) (*Space, bool) {
@@ -272,6 +278,9 @@ func (w *Walker) walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("walker: no address space registered for ASID %d", asid)
 	}
+	// Walk depth for attribution: PTE references issued by this walk
+	// (including the host dimension of a 2-D walk).
+	ma0 := w.Stats.MemAccesses.Value()
 
 	level, hit := w.pscStart(&w.guestPSC, asid, v, s.Guest.Levels())
 	t := now + w.cfg.PSCLatency
@@ -298,6 +307,9 @@ func (w *Walker) walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 		w.pscFill(&w.guestPSC, asid, v, w.steps)
 		w.Stats.WalkCycles.Observe(float64(t - now))
 		w.Stats.WalkCyclesHist.Observe(t - now)
+		if w.ip != nil {
+			w.ip.Walk(int(w.Stats.MemAccesses.Value()-ma0), t-now)
+		}
 		return Result{Done: t, Frame: frame, Size: size}, nil
 	}
 
@@ -327,6 +339,9 @@ func (w *Walker) walk(now uint64, v mem.VAddr, asid mem.ASID) (Result, error) {
 	}
 	w.Stats.WalkCycles.Observe(float64(t - now))
 	w.Stats.WalkCyclesHist.Observe(t - now)
+	if w.ip != nil {
+		w.ip.Walk(int(w.Stats.MemAccesses.Value()-ma0), t-now)
+	}
 	return Result{Done: t, Frame: finalHPA &^ (mem.PageSize4K - 1), Size: mem.Page4K}, nil
 }
 
