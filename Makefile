@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos fuzz fuzz-engines equivalence alloc golden-update bench bench-json introspect-smoke check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos race-fabric fabric-smoke fuzz fuzz-engines equivalence alloc golden-update bench bench-json introspect-smoke check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -58,6 +58,24 @@ race-telemetry:
 race-chaos:
 	$(GO) test $(TESTFLAGS) -race -short ./internal/chaos/ ./internal/faultinject/
 
+# Race coverage of the distributed sweep fabric: lease expiry and
+# reassignment, hedged re-dispatch, duplicate-completion idempotence,
+# coordinator restart recovery, graceful drain, and the over-the-wire
+# chaos contract — every path asserting byte-identical tables. -short
+# skips only the multi-second seeded chaos sweep.
+race-fabric:
+	$(GO) test $(TESTFLAGS) -race -short ./internal/fabric/
+
+# Fabric end-to-end smoke, the acceptance scenario from the issue: a
+# two-figure sweep sharded over workers with a worker killed mid-sweep
+# and the coordinator restarted over its ledger, final tables' sha256
+# equal to a clean single-process run — plus a real coordinator process
+# driving in-process workers through cmd/experiments -serve.
+fabric-smoke:
+	$(GO) test $(TESTFLAGS) -run 'TestFabricSmoke|TestFabricChaosContract' ./internal/fabric/
+	$(GO) run ./cmd/experiments -serve 127.0.0.1:0 -local-workers 2 \
+		-run fig3 -scale tiny -quiet >/dev/null
+
 # Bounded fuzz pass over the workload generators (footprint containment
 # and seed determinism). Extend -fuzztime for deeper soaks.
 fuzz:
@@ -107,4 +125,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchreg -dir .
 
-check: build vet test alloc race-short race-fault race-telemetry race-chaos introspect-smoke
+check: build vet test alloc race-short race-fault race-telemetry race-chaos race-fabric introspect-smoke

@@ -1,0 +1,204 @@
+// Command csaltd is the sweep-fabric worker daemon: it pulls simulation
+// jobs from a coordinator (experiments -serve), executes them with the
+// standard runner, and streams results back over HTTP.
+//
+//	csaltd -coordinator http://host:8090
+//	csaltd -coordinator http://host:8090 -name rack7 -parallel 4 -listen :9101
+//
+// Jobs arrive as complete simulator configurations, so a worker needs no
+// local knowledge of the experiment suite; results are keyed by the
+// configuration's checkpoint key and recorded in the coordinator's ledger,
+// making every completion idempotent (duplicate completions from hedged or
+// reassigned leases are byte-identical no-ops).
+//
+// Graceful drain: SIGTERM stops leasing new jobs, finishes and reports the
+// jobs in flight, flips /readyz (when -listen is set) to 503, notifies the
+// coordinator, and exits 0. SIGINT cancels hard and exits 130; in-flight
+// leases then expire on the coordinator and the jobs are reassigned.
+//
+// Fault injection (-chaos) arms the wire seams for the robustness
+// harness: "worker.kill:1@2" crashes the worker as it takes its 2nd
+// lease, "link.partition:2" fails two coordinator round trips (see
+// ROBUSTNESS.md, "Distributed sweeps").
+//
+// Exit codes: 0 clean (sweep done or drained), 1 fatal error or injected
+// kill, 2 usage error, 130 interrupted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/telemetry"
+)
+
+const (
+	exitFailure     = 1
+	exitUsage       = 2
+	exitInterrupted = 130
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8090")
+		name        = flag.String("name", "", "worker identity (default csaltd-<hostname>-<pid>)")
+		parallel    = flag.Int("parallel", 1, "concurrent jobs; >1 registers as <name>/0..N-1")
+		poll        = flag.Duration("poll", 200*time.Millisecond, "idle lease-poll interval")
+		stallCycles = flag.Uint64("stall-cycles", 10_000_000, "in-simulator forward-progress watchdog (0 = off)")
+		check       = flag.Bool("check", false, "arm mid-run model invariant checking on every simulation")
+		retries     = flag.Int("retries", 0, "local bounded retries for transient failures before reporting to the coordinator")
+		chaosSpec   = flag.String("chaos", "", "fault-injection schedule incl. wire seams worker.kill/link.partition")
+		listen      = flag.String("listen", "", "serve this worker's telemetry plane on this address (/metrics /healthz /readyz /events /runs)")
+	)
+	flag.Parse()
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "csaltd: -coordinator is required")
+		os.Exit(exitUsage)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "anon"
+		}
+		*name = fmt.Sprintf("csaltd-%s-%d", host, os.Getpid())
+	}
+	if *parallel < 1 {
+		*parallel = 1
+	}
+
+	var plane *faultinject.Plane
+	if *chaosSpec != "" {
+		sched, err := faultinject.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csaltd: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		plane = faultinject.New(sched)
+	}
+
+	// One shared runner: concurrent lease loops singleflight duplicate
+	// configurations through its memo cache. KeepGoing stays false so
+	// failures surface to the coordinator's retry/quarantine machinery.
+	runner := experiment.NewRunner(experiment.Scale{Name: "fabric-worker"})
+	runner.StallLimit = *stallCycles
+	runner.CheckInvariants = *check
+	runner.MaxRetries = *retries
+	runner.Retry = experiment.DefaultBackoff(1)
+	runner.Chaos = plane
+
+	var tel *telemetry.Server
+	if *listen != "" {
+		var err error
+		tel, err = telemetry.Start(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csaltd: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		defer tel.Close()
+		tel.AttachRunner(runner)
+		tel.Events.SetChaos(plane)
+		fmt.Fprintf(os.Stderr, "csaltd: telemetry on http://%s\n", tel.Addr())
+	}
+
+	workers := make([]*fabric.Worker, *parallel)
+	for i := range workers {
+		wname := *name
+		if *parallel > 1 {
+			wname = fmt.Sprintf("%s/%d", *name, i)
+		}
+		w, err := fabric.NewWorker(fabric.WorkerOptions{
+			Name: wname, BaseURL: *coordinator, Runner: runner,
+			Chaos: plane, Poll: *poll, Backoff: experiment.DefaultBackoff(1),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csaltd: %v\n", err)
+			os.Exit(exitUsage)
+		}
+		workers[i] = w
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// SIGTERM drains: stop leasing, finish in flight, report, exit clean.
+	// SIGINT (or a second SIGTERM) cancels hard: leases expire on the
+	// coordinator and the abandoned jobs are reassigned.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	interrupted := make(chan struct{})
+	go func() {
+		hard := func(sig os.Signal) {
+			fmt.Fprintf(os.Stderr, "csaltd: %v: cancelling in-flight work\n", sig)
+			close(interrupted)
+			cancel()
+		}
+		sig := <-sigCh
+		if sig == syscall.SIGTERM {
+			fmt.Fprintln(os.Stderr, "csaltd: SIGTERM: draining (finishing in-flight jobs)")
+			if tel != nil {
+				tel.Health.SetReady(false)
+			}
+			for _, w := range workers {
+				go w.Drain()
+			}
+			sig = <-sigCh // escalate on a second signal
+		}
+		hard(sig)
+	}()
+
+	if tel != nil {
+		tel.Health.SetReady(true)
+	}
+	fmt.Fprintf(os.Stderr, "csaltd: %s pulling from %s (%d slot(s))\n", *name, *coordinator, *parallel)
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		runErr error
+	)
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				mu.Lock()
+				if runErr == nil {
+					runErr = err
+				}
+				mu.Unlock()
+				if errors.Is(err, fabric.ErrKilled) {
+					// A simulated crash kills the whole process, abandoning
+					// every slot's lease — that is the point of the seam.
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if plane != nil && plane.Fired() > 0 {
+		fmt.Fprintf(os.Stderr, "csaltd: chaos: %d faults injected:\n%s", plane.Fired(), plane.LogString())
+	}
+	select {
+	case <-interrupted:
+		os.Exit(exitInterrupted)
+	default:
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "csaltd: %v\n", runErr)
+		os.Exit(exitFailure)
+	}
+	fmt.Fprintln(os.Stderr, "csaltd: done")
+}

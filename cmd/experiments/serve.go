@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/telemetry"
+)
+
+// serveOpts carries the coordinator-mode configuration from main.
+type serveOpts struct {
+	addr            string
+	scale           experiment.Scale
+	todo            []experiment.Experiment
+	resultsDir      string
+	resume          bool
+	keepGoing       bool
+	jobTimeout      time.Duration
+	leaseTTL        time.Duration
+	hedgeAfter      time.Duration
+	quarantineAfter int
+	localWorkers    int
+	stallCycles     uint64
+	check           bool
+	quiet           bool
+}
+
+// runServe is coordinator mode (-serve): shard the deduplicated job space
+// of the requested experiments over pull workers (cmd/csaltd, plus any
+// -local-workers started in-process), survive worker crashes, stragglers,
+// poisoned jobs and coordinator restarts, and render the tables
+// byte-identical to a single-process run. Never returns.
+func runServe(o serveOpts) {
+	// The engine is only the job enumerator here: the same deduplicated
+	// (mix × config) space -parallel would execute locally.
+	eng := experiment.NewEngine(o.scale, 1)
+	jobs := eng.Jobs(o.todo...)
+
+	dir := o.resultsDir
+	if dir == "" {
+		// Ephemeral ledger: correctness (idempotence, restart recovery
+		// within the run, byte-identical renders) without durable output.
+		tmp, err := os.MkdirTemp("", "csalt-fabric-*")
+		if err != nil {
+			usageFail("%v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		fmt.Fprintf(os.Stderr, "serve: no -results-dir; ephemeral ledger in %s\n", dir)
+	}
+	if o.resume {
+		fsck, err := checkpoint.Fsck(dir)
+		if err != nil {
+			usageFail("%v", err)
+		}
+		if fsck.TornTail > 0 {
+			fmt.Fprintf(os.Stderr, "fsck: torn %d-byte tail in %s (crash mid-append); truncating on replay\n",
+				fsck.TornTail, fsck.Path)
+		}
+	}
+	store, err := checkpoint.Open(dir, o.resume)
+	if err != nil {
+		usageFail("%v", err)
+	}
+	defer store.Close()
+	// A long-lived ledger accumulates superseded duplicates across
+	// restarts; compact when more than half the records are dead weight.
+	if store.Records() > 2*store.Len() {
+		if removed, err := store.Compact(); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: compact: %v\n", err)
+		} else if removed > 0 {
+			fmt.Fprintf(os.Stderr, "serve: compacted ledger (%d duplicate records removed)\n", removed)
+		}
+	}
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorOptions{
+		Jobs: jobs, Store: store,
+		LeaseTTL: o.leaseTTL, HedgeAfter: o.hedgeAfter,
+		QuarantineAfter: o.quarantineAfter,
+		Backoff:         experiment.DefaultBackoff(1),
+		KeepGoing:       o.keepGoing, JobTimeout: o.jobTimeout,
+	})
+	if err != nil {
+		usageFail("%v", err)
+	}
+
+	// The fabric wire protocol and the telemetry plane share one listener:
+	// workers POST to /fabric/v1/*, humans scrape /metrics and /runs.
+	tel := telemetry.NewServer()
+	defer tel.Close()
+	tel.AttachStore(store)
+	tel.AttachFabric(coord)
+	if !o.quiet {
+		coord.OnEvent(func(ev fabric.Event) {
+			switch ev.Type {
+			case "worker_seen", "lease_expired", "hedge", "quarantine", "drain", "done":
+				fmt.Fprintf(os.Stderr, "serve: %s %s %s %s\n", ev.Type, ev.Worker, ev.Label, ev.Detail)
+			}
+		})
+	}
+	tel.Handle(fabric.PathPrefix, coord.Handler())
+	lis, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		usageFail("serve: %v", err)
+	}
+	httpSrv := &http.Server{Handler: tel.Handler()}
+	go httpSrv.Serve(lis) //nolint:errcheck // Serve returns on Close
+	defer httpSrv.Close()
+	baseURL := "http://" + lis.Addr().String()
+	fmt.Fprintf(os.Stderr, "serve: coordinating %d jobs on %s (fabric API under /fabric/v1/)\n",
+		len(jobs), baseURL)
+	if st := coord.Stats(); st.JobsRecovered > 0 {
+		fmt.Fprintf(os.Stderr, "serve: recovered %d completed jobs from the ledger\n", st.JobsRecovered)
+	}
+	tel.Health.SetReady(true)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Optional in-process workers: a single-command distributed sweep (and
+	// the CI smoke path). External csaltd processes can join at any time.
+	runner := experiment.NewRunner(o.scale)
+	runner.StallLimit = o.stallCycles
+	runner.CheckInvariants = o.check
+	runner.Retry = experiment.DefaultBackoff(1)
+	for i := 0; i < o.localWorkers; i++ {
+		w, err := fabric.NewWorker(fabric.WorkerOptions{
+			Name: fmt.Sprintf("local/%d", i), BaseURL: baseURL, Runner: runner,
+			Poll: 50 * time.Millisecond, Backoff: experiment.DefaultBackoff(1),
+		})
+		if err != nil {
+			usageFail("%v", err)
+		}
+		go w.Run(ctx) //nolint:errcheck // lease expiry covers a dying local worker
+	}
+
+	waitErr := coord.Wait(ctx)
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "interrupted: %v\n", ctx.Err())
+		if o.resultsDir != "" {
+			fmt.Fprintf(os.Stderr, "completed results saved; rerun with -serve %s -results-dir %s -resume to continue\n",
+				o.addr, o.resultsDir)
+		}
+		os.Exit(exitInterrupted)
+	}
+	st := coord.Stats()
+	fmt.Fprintf(os.Stderr,
+		"serve: sweep finished: %d jobs (%d recovered, %d reassignments, %d hedges, %d duplicates, %d retries, %d quarantined)\n",
+		st.JobsTotal, st.JobsRecovered, st.Reassignments, st.Hedges, st.Duplicates, st.Retries, st.JobsQuarantined)
+	if waitErr != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:")
+		for _, l := range errorLabels(waitErr) {
+			fmt.Fprintf(os.Stderr, "  %s\n", l)
+		}
+		if !o.keepGoing {
+			os.Exit(exitSimFailure)
+		}
+	}
+
+	// Render sequentially from the ledger: completed jobs replay their
+	// recorded bytes, quarantined jobs poison to ERR cells under
+	// -keep-going — byte-identical to the local path at any worker count.
+	renderer := coord.Renderer(o.scale)
+	for _, e := range o.todo {
+		table, err := e.Run(renderer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(exitSimFailure)
+		}
+		fmt.Printf("# %s — %s\n", e.ID, e.Title)
+		fmt.Printf("# paper: %s\n", e.PaperClaim)
+		table.Render(os.Stdout)
+		fmt.Println()
+	}
+	if waitErr != nil {
+		os.Exit(exitSimFailure)
+	}
+	os.Exit(0)
+}
+
+// runFsck is -fsck: diagnose a results store, repair what is safely
+// repairable (truncate a torn tail from a crash mid-append, drop
+// superseded duplicate records), and report. Never returns.
+func runFsck(dir string) {
+	rep, err := checkpoint.Fsck(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsck: %v\n", err)
+		os.Exit(exitSimFailure)
+	}
+	fmt.Printf("fsck %s: %d records, %d distinct keys\n", rep.Path, rep.Records, rep.Records-rep.Duplicates)
+	if rep.TornTail > 0 {
+		fmt.Printf("  torn tail: %d bytes (crash mid-append) — truncating\n", rep.TornTail)
+	}
+	if rep.Duplicates > 0 {
+		fmt.Printf("  duplicates: %d superseded records — compacting\n", rep.Duplicates)
+	}
+	if rep.TornTail == 0 && rep.Duplicates == 0 {
+		fmt.Println("  clean")
+		return
+	}
+	// Opening in resume mode replays the log and truncates the torn tail;
+	// Compact then rewrites the store with one record per key.
+	store, err := checkpoint.Open(dir, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsck: repair: %v\n", err)
+		os.Exit(exitSimFailure)
+	}
+	removed, err := store.Compact()
+	store.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsck: compact: %v\n", err)
+		os.Exit(exitSimFailure)
+	}
+	fmt.Printf("  repaired: %d duplicate records removed, %d live records kept\n", removed, store.Len())
+}

@@ -162,3 +162,52 @@ func TestFsckRejectsForeignHeader(t *testing.T) {
 		t.Error("missing store accepted")
 	}
 }
+
+// A torn append followed by more Puts must not corrupt the ledger: the
+// next write truncates the partial line first, so every later record
+// starts on a clean boundary and a reopened store replays all of them.
+// Retry-heavy writers (the fabric coordinator re-dispatching failed jobs)
+// depend on this self-healing.
+func TestTornAppendHealsBeforeNextWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetChaos(faultinject.New(faultinject.MustParse("store.torn:1@2")))
+
+	if err := s.Put("k1", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k2", "v2"); err == nil {
+		t.Fatal("torn append reported success")
+	}
+	// The retry and two more appends must all survive a reopen.
+	for _, kv := range [][2]string{{"k2", "v2"}, {"k3", "v3"}, {"k4", "v4"}} {
+		if err := s.Put(kv[0], kv[1]); err != nil {
+			t.Fatalf("Put %s after torn append: %v", kv[0], err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsck, err := Fsck(dir)
+	if err != nil {
+		t.Fatalf("fsck after healed tear: %v", err)
+	}
+	if fsck.TornTail != 0 || fsck.Records != 4 {
+		t.Errorf("fsck = %+v, want 4 intact records and no torn tail", fsck)
+	}
+	re, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, kv := range [][2]string{{"k1", "v1"}, {"k2", "v2"}, {"k3", "v3"}, {"k4", "v4"}} {
+		var out string
+		if ok, _ := re.Lookup(kv[0], &out); !ok || out != kv[1] {
+			t.Errorf("after reopen, %s = %q (present %v), want %q", kv[0], out, ok, kv[1])
+		}
+	}
+}

@@ -55,12 +55,15 @@ type record struct {
 // concurrent use: Put serializes appends under a mutex and Lookup reads an
 // in-memory index replayed at Open.
 type Store struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	entries map[string]json.RawMessage
-	loaded  int // records replayed from disk at Open
-	chaos   *faultinject.Plane
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	entries  map[string]json.RawMessage
+	loaded   int   // records replayed from disk at Open
+	appended int   // records appended since Open
+	good     int64 // bytes of the file known to end on a record boundary
+	dirty    bool  // a failed append may have left partial bytes past good
+	chaos    *faultinject.Plane
 }
 
 // StoreError is an append-path failure with full provenance: which
@@ -173,6 +176,7 @@ func (s *Store) replay() error {
 	if _, err := s.f.Seek(0, 2); err != nil {
 		return err
 	}
+	s.good = good
 	return nil
 }
 
@@ -189,26 +193,48 @@ func (s *Store) writeLine(key string, v interface{}) error {
 		return &StoreError{Op: "append", Path: s.path, Key: key, Err: fmt.Errorf("encoding record: %w", err)}
 	}
 	line := buf.Bytes()
+	// A previous failed append may have left partial bytes (a torn
+	// record) past the last good boundary. Truncate them away before
+	// writing, so a retried Put cannot merge into the torn line and
+	// corrupt every later record — retry-heavy writers (the fabric
+	// coordinator) depend on the ledger healing itself here.
+	if s.dirty {
+		if err := s.f.Truncate(s.good); err != nil {
+			return &StoreError{Op: "append", Path: s.path, Key: key, Err: fmt.Errorf("trimming failed append: %w", err)}
+		}
+		if _, err := s.f.Seek(s.good, 0); err != nil {
+			return &StoreError{Op: "append", Path: s.path, Key: key, Err: err}
+		}
+		s.dirty = false
+	}
 	if _, fire := s.chaos.Fire(faultinject.StoreWrite, key); fire {
 		return &StoreError{Op: "append", Path: s.path, Key: key, Err: errors.New("injected write failure")}
 	}
 	if _, fire := s.chaos.Fire(faultinject.StoreTorn, key); fire {
 		// A torn write is a crash mid-append: half the record reaches the
 		// file. Write it for real — resume must truncate it — and fail.
+		s.dirty = true
 		if _, err := s.f.Write(line[:len(line)/2]); err != nil {
 			return &StoreError{Op: "append", Path: s.path, Key: key, Err: err}
 		}
 		return &StoreError{Op: "append", Path: s.path, Key: key, Err: errors.New("injected torn write")}
 	}
 	if _, err := s.f.Write(line); err != nil {
+		s.dirty = true
 		return &StoreError{Op: "append", Path: s.path, Key: key, Err: err}
 	}
 	if _, fire := s.chaos.Fire(faultinject.StoreFsync, key); fire {
+		// The bytes are intact but their durability is unknown; treating
+		// the append as failed means the next write must re-establish the
+		// boundary, so the unacknowledged record is truncated too.
+		s.dirty = true
 		return &StoreError{Op: "sync", Path: s.path, Key: key, Err: errors.New("injected fsync failure")}
 	}
 	if err := s.f.Sync(); err != nil {
+		s.dirty = true
 		return &StoreError{Op: "sync", Path: s.path, Key: key, Err: err}
 	}
+	s.good += int64(len(line))
 	return nil
 }
 
@@ -234,6 +260,7 @@ func (s *Store) Put(key string, v interface{}) error {
 		return err
 	}
 	s.entries[key] = raw
+	s.appended++
 	return nil
 }
 
@@ -280,11 +307,92 @@ func (s *Store) Replayed() int {
 	return s.loaded
 }
 
+// Records returns the total record lines in the file: everything replayed
+// at Open plus everything appended since. Records minus Len is the
+// duplicate count — re-put keys whose earlier lines are dead weight in the
+// ledger until Compact rewrites it.
+func (s *Store) Records() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded + s.appended
+}
+
+// Compact rewrites the store as header + one record per distinct key
+// (sorted, so compacted stores are byte-comparable across runs), dropping
+// the duplicate lines that long resumed or fabric sweeps accumulate when
+// keys are re-put. The rewrite is atomic: a temp file in the same
+// directory is fully written and fsynced before renaming over the live
+// path, so a crash mid-compact leaves either the old ledger or the new one
+// — never a torn mix. Returns how many duplicate records were removed.
+func (s *Store) Compact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := s.loaded + s.appended - len(s.entries)
+	if removed <= 0 {
+		return 0, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), FileName+".compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header{Schema: Schema, Version: Version}); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := enc.Encode(record{Key: k, Value: s.entries[k]}); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("checkpoint: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	// Swap the live handle onto the compacted file, positioned at its end
+	// so subsequent appends extend the new ledger.
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: compact: reopening: %w", err)
+	}
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return 0, fmt.Errorf("checkpoint: compact: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	s.loaded = len(s.entries)
+	s.appended = 0
+	s.good = end
+	s.dirty = false
+	return removed, nil
+}
+
 // FsckReport summarises a store file's integrity as Fsck saw it.
 type FsckReport struct {
-	Path     string
-	Records  int   // intact records after the header
-	TornTail int64 // bytes in a torn/garbage trailing region (0 = clean)
+	Path       string
+	Records    int   // intact records after the header
+	Duplicates int   // records superseded by a later Put of the same key
+	TornTail   int64 // bytes in a torn/garbage trailing region (0 = clean)
 }
 
 // Fsck validates the store file inside dir without opening it for
@@ -338,6 +446,7 @@ func fsckFile(f *os.File, path string) (*FsckReport, error) {
 			path, h.Schema, h.Version, Schema, Version)
 	}
 	var torn int64
+	seen := make(map[string]bool)
 	for sc.Scan() {
 		line := sc.Bytes()
 		var r record
@@ -353,6 +462,10 @@ func fsckFile(f *os.File, path string) (*FsckReport, error) {
 			return nil, fmt.Errorf("checkpoint: fsck %s: intact record after a torn line (corrupt store)", path)
 		}
 		rep.Records++
+		if seen[r.Key] {
+			rep.Duplicates++
+		}
+		seen[r.Key] = true
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("checkpoint: fsck %s: %w", path, err)

@@ -211,3 +211,77 @@ func TestKeyOfIsStable(t *testing.T) {
 		t.Errorf("key %q is not hex sha-256", a)
 	}
 }
+
+func TestCompactRemovesDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three keys, the first re-put three times: six records, three live.
+	for i, k := range []string{"a", "a", "b", "a", "c", "b"} {
+		if err := s.Put(k, payload{Name: k, Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Records(); got != 6 {
+		t.Fatalf("Records() = %d, want 6", got)
+	}
+	removed, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("Compact removed %d, want 3", removed)
+	}
+	if got := s.Records(); got != 3 {
+		t.Fatalf("Records() after compact = %d, want 3", got)
+	}
+	// Last-put values must survive, and appends must still work.
+	var p payload
+	if ok, err := s.Lookup("a", &p); err != nil || !ok || p.Value != 3 {
+		t.Fatalf("post-compact Lookup(a) = %v %v %v, want value 3", ok, err, p)
+	}
+	if err := s.Put("d", payload{Name: "d", Value: 9}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	s.Close()
+
+	// The compacted-and-appended file must replay cleanly and completely.
+	r, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 4 || r.Replayed() != 4 {
+		t.Fatalf("reopened store has %d entries (%d replayed), want 4", r.Len(), r.Replayed())
+	}
+	if ok, _ := r.Lookup("d", &p); !ok || p.Value != 9 {
+		t.Fatalf("post-compact append lost: %v %v", ok, p)
+	}
+	rep, err := Fsck(dir)
+	if err != nil {
+		t.Fatalf("fsck after compact: %v", err)
+	}
+	if rep.Records != 4 || rep.TornTail != 0 {
+		t.Fatalf("fsck after compact: %+v", rep)
+	}
+}
+
+func TestCompactNoDuplicatesIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, k := range []string{"a", "b"} {
+		if err := s.Put(k, payload{Name: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.Compact()
+	if err != nil || removed != 0 {
+		t.Fatalf("Compact on clean store: removed=%d err=%v, want 0 nil", removed, err)
+	}
+}

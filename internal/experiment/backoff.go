@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is the retry-delay policy shared by the runner's local
+// transient-failure retries and the fabric coordinator's job re-dispatch:
+// capped exponential growth plus deterministic seeded jitter, so colliding
+// retries decorrelate without introducing wall-clock nondeterminism into
+// tests — the same (seed, key, attempt) triple always yields the same
+// delay.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 0); 0 disables
+	// delays entirely (retry immediately).
+	Base time.Duration
+	// Cap bounds the exponential growth; 0 means uncapped.
+	Cap time.Duration
+	// JitterFrac adds up to this fraction of the computed delay as
+	// deterministic jitter in [0, JitterFrac); 0 disables jitter.
+	JitterFrac float64
+	// Seed selects the jitter stream. Two retries of the same key at the
+	// same attempt always draw the same jitter under the same seed.
+	Seed uint64
+}
+
+// DefaultBackoff is the policy cmd/experiments and the fabric default to:
+// 100 ms doubling to a 5 s ceiling with half-delay jitter.
+func DefaultBackoff(seed uint64) Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, JitterFrac: 0.5, Seed: seed}
+}
+
+// Delay returns the wait before retry number attempt (0-based) of the job
+// identified by key. The result is deterministic in (Seed, key, attempt).
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.Base
+	// Shift with explicit overflow/cap guards: attempt counts can grow
+	// unbounded under fabric quarantine policies.
+	for i := 0; i < attempt; i++ {
+		d <<= 1
+		if d <= 0 || (b.Cap > 0 && d >= b.Cap) {
+			d = b.Cap
+			if d <= 0 {
+				d = time.Duration(1) << 62
+			}
+			break
+		}
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if b.JitterFrac > 0 {
+		span := time.Duration(float64(d) * b.JitterFrac)
+		if span > 0 {
+			d += time.Duration(jitterStream(b.Seed, key, attempt) % uint64(span))
+		}
+	}
+	return d
+}
+
+// jitterStream derives the deterministic jitter word for (seed, key,
+// attempt) with FNV-1a over the key folded into a splitmix64 step — tiny,
+// stable across Go versions, and uniform enough for decorrelation.
+func jitterStream(seed uint64, key string, attempt int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	z := seed ^ h.Sum64() ^ (uint64(attempt+1) * 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -36,7 +36,7 @@ func TestWatchdogHitJobIsNeverRetried(t *testing.T) {
 	r := NewRunner(microScale)
 	r.MaxRetries = 3
 	var calls atomic.Int64
-	r.simulateHook = func(context.Context, sim.Config) (*sim.Results, error) {
+	r.Simulate = func(context.Context, sim.Config) (*sim.Results, error) {
 		calls.Add(1)
 		return nil, &TransientError{Err: fmt.Errorf("watchdog: %w", context.DeadlineExceeded)}
 	}
@@ -66,7 +66,7 @@ func TestChaosTransientRetriedToSuccess(t *testing.T) {
 	r.Chaos = faultinject.New(faultinject.MustParse("job.transient:1"))
 	r.MaxRetries = 2
 	var calls atomic.Int64
-	r.simulateHook = func(context.Context, sim.Config) (*sim.Results, error) {
+	r.Simulate = func(context.Context, sim.Config) (*sim.Results, error) {
 		calls.Add(1)
 		return &sim.Results{}, nil
 	}

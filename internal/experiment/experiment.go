@@ -152,10 +152,12 @@ type Runner struct {
 	// (errors satisfying IsTransient). The default 0 disables retries;
 	// deterministic simulation errors are never retried regardless.
 	MaxRetries int
-	// RetryBackoff is the base delay before the first retry, doubled each
-	// further attempt (capped only by MaxRetries). Zero means retry
-	// immediately.
-	RetryBackoff time.Duration
+	// Retry shapes the delay between transient-failure attempts: capped
+	// exponential backoff with seeded jitter (see Backoff). The zero value
+	// retries immediately. The fabric coordinator shares the same policy
+	// type for job re-dispatch, so local and distributed retries pace
+	// identically.
+	Retry Backoff
 
 	// Chaos, when non-nil, attaches the deterministic fault-injection
 	// plane: scheduled worker panics, transient failures and worker
@@ -169,9 +171,12 @@ type Runner struct {
 	// conservation pass runs regardless.
 	CheckInvariants bool
 
-	// simulateHook, when non-nil, replaces the actual simulation — the
-	// fault-injection point for the engine's panic/cancel/retry tests.
-	simulateHook func(ctx context.Context, cfg sim.Config) (*sim.Results, error)
+	// Simulate, when non-nil, replaces the local simulation datapath for
+	// configurations not resolved by the memo cache or checkpoint store.
+	// The engine's fault tests inject failures here, and a fabric
+	// coordinator's table renderer uses it to surface quarantined jobs as
+	// classified errors instead of silently re-simulating them locally.
+	Simulate func(ctx context.Context, cfg sim.Config) (*sim.Results, error)
 
 	mu       sync.Mutex
 	cache    map[sim.Config]*runEntry
@@ -333,8 +338,7 @@ func (r *Runner) simulate(ctx context.Context, cfg sim.Config) (*sim.Results, bo
 		if attempt >= r.MaxRetries || !IsTransient(err) || ctx.Err() != nil {
 			break
 		}
-		if r.RetryBackoff > 0 {
-			backoff := r.RetryBackoff << attempt
+		if backoff := r.Retry.Delay(chaosKey(cfg), attempt); backoff > 0 {
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -376,8 +380,8 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 		case <-time.After(f.Dur):
 		}
 	}
-	if r.simulateHook != nil {
-		return r.simulateHook(ctx, cfg)
+	if r.Simulate != nil {
+		return r.Simulate(ctx, cfg)
 	}
 	sys, err := sim.New(cfg)
 	if err != nil {
@@ -429,6 +433,24 @@ func (r *Runner) Replayed() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.replayed
+}
+
+// Forget evicts cfg's memoised outcome so the next Run re-simulates it.
+// Only settled entries are dropped — an in-flight singleflight run keeps
+// its waiters. A fabric worker calls this before a re-dispatched attempt:
+// the coordinator owns retry policy, so a failure memoised by an earlier
+// lease must not short-circuit the retry it ordered.
+func (r *Runner) Forget(cfg sim.Config) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.cache[cfg]; ok {
+		select {
+		case <-e.done:
+			delete(r.cache, cfg)
+			delete(r.failed, cfg)
+		default:
+		}
+	}
 }
 
 // FailureOf returns the recorded (non-cancellation) failure for cfg, if

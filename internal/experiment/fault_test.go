@@ -3,7 +3,7 @@ package experiment
 // Fault-injection tests for the robustness layer: panic isolation,
 // cancellation, per-job deadlines, transient retries, keep-going ERR
 // rendering, and kill/resume determinism against the checkpoint store.
-// Faults are injected through the Runner's simulateHook so each test
+// Faults are injected through the Runner's Simulate so each test
 // controls exactly which configuration misbehaves and how.
 
 import (
@@ -42,7 +42,7 @@ func TestWorkerPanicFailsOnlyItsJob(t *testing.T) {
 	bad := jobs[2].Config
 	eng := NewEngine(microScale, 3)
 	eng.KeepGoing = true
-	eng.Runner.simulateHook = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
+	eng.Runner.Simulate = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
 		if cfg == bad {
 			panic("injected fault")
 		}
@@ -80,7 +80,7 @@ func TestFailFastSkipsRemainingJobs(t *testing.T) {
 	jobs := faultJobs(8)
 	bad := jobs[0].Config
 	eng := NewEngine(microScale, 1) // sequential: the failure lands first
-	eng.Runner.simulateHook = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
+	eng.Runner.Simulate = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
 		if cfg == bad {
 			return nil, errors.New("boom")
 		}
@@ -103,7 +103,7 @@ func TestContextCancelMidSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var started atomic.Int32
 	eng := NewEngine(microScale, 2)
-	eng.Runner.simulateHook = func(hctx context.Context, _ sim.Config) (*sim.Results, error) {
+	eng.Runner.Simulate = func(hctx context.Context, _ sim.Config) (*sim.Results, error) {
 		if started.Add(1) == 2 {
 			cancel() // pull the plug while jobs are in flight
 		}
@@ -140,7 +140,7 @@ func TestJobTimeoutFailsOverrunningJob(t *testing.T) {
 	eng := NewEngine(microScale, 1)
 	eng.KeepGoing = true
 	eng.JobTimeout = 20 * time.Millisecond
-	eng.Runner.simulateHook = func(hctx context.Context, cfg sim.Config) (*sim.Results, error) {
+	eng.Runner.Simulate = func(hctx context.Context, cfg sim.Config) (*sim.Results, error) {
 		if cfg == slow {
 			<-hctx.Done() // wedge until the per-job deadline fires
 			return nil, fmt.Errorf("hook: %w", hctx.Err())
@@ -168,8 +168,8 @@ func TestTransientRetrySucceeds(t *testing.T) {
 	var calls atomic.Int32
 	r := NewRunner(microScale)
 	r.MaxRetries = 2
-	r.RetryBackoff = time.Millisecond
-	r.simulateHook = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
+	r.Retry = Backoff{Base: time.Millisecond}
+	r.Simulate = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
 		if calls.Add(1) <= 2 {
 			return nil, &TransientError{Err: errors.New("flaky backend")}
 		}
@@ -188,7 +188,7 @@ func TestDeterministicErrorNotRetried(t *testing.T) {
 	var calls atomic.Int32
 	r := NewRunner(microScale)
 	r.MaxRetries = 3
-	r.simulateHook = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
+	r.Simulate = func(_ context.Context, _ sim.Config) (*sim.Results, error) {
 		calls.Add(1)
 		return nil, errors.New("deterministic model error")
 	}
@@ -298,7 +298,7 @@ func TestKeepGoingRendersERRCells(t *testing.T) {
 	}
 	bad := jobs[len(jobs)-1].Config
 	eng.KeepGoing = true
-	eng.Runner.simulateHook = func(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
+	eng.Runner.Simulate = func(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
 		if cfg == bad {
 			return nil, errors.New("injected failure")
 		}

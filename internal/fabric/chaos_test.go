@@ -1,0 +1,199 @@
+package fabric_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+// rebind serves a coordinator on a specific (just-released) address, for
+// restart-on-the-same-endpoint scenarios.
+func rebind(addr string, c *fabric.Coordinator) (*http.Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(lis) //nolint:errcheck // returns on Close
+	return srv, nil
+}
+
+// TestFabricChaosContract extends the PR-5 chaos contract across the
+// wire: under seeded fault schedules drawn from the fabric menu (worker
+// kills, link partitions, job panics/transients, worker stalls, store
+// write/fsync/torn failures), every sweep must either finish with tables
+// byte-identical to the clean single-process golden run, or fail
+// classified — and then a fresh coordinator over the same ledger with
+// clean workers must resume to the golden bytes.
+func TestFabricChaosContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is seconds-per-seed")
+	}
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+
+	for seed := uint64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(faultinject.GenerateFabric(seed).String(), func(t *testing.T) {
+			dir := t.TempDir()
+			plane := faultinject.New(faultinject.GenerateFabric(seed))
+
+			c, srv, store := startCoordinator(t, dir, false, jobs, func(o *fabric.CoordinatorOptions) {
+				o.LeaseTTL = 200 * time.Millisecond
+				o.JobTimeout = 2 * time.Second
+			})
+			store.SetChaos(plane)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// Both workers share the plane; the kill budget is capped at
+			// one per schedule, so a survivor always remains.
+			errs := runWorkers(ctx, map[string]*fabric.Worker{
+				"w0": newWorker(t, "w0", srv.URL, plane),
+				"w1": newWorker(t, "w1", srv.URL, plane),
+			})
+			for name, err := range errs {
+				if err != nil && !errors.Is(err, fabric.ErrKilled) {
+					t.Errorf("worker %s exited with unexpected error: %v", name, err)
+				}
+			}
+
+			waitCtx, waitCancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer waitCancel()
+			chaosErr := c.Wait(waitCtx)
+			if waitCtx.Err() != nil {
+				t.Fatalf("sweep hung under schedule (stats %+v)", c.Stats())
+			}
+			t.Logf("firings: %d\n%s", plane.Fired(), plane.LogString())
+
+			if chaosErr == nil {
+				if got := renderFabric(t, c, exp); got != golden {
+					t.Fatalf("clean chaos sweep diverged:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+				}
+				return
+			}
+			// Failed: must be classified, then resume to golden bytes.
+			if class := fabric.Classify(chaosErr); class == "" {
+				t.Fatalf("unclassifiable sweep failure: %v", chaosErr)
+			}
+			srv.Close()
+			store.Close()
+
+			c2, srv2, _ := startCoordinator(t, dir, true, jobs, nil)
+			defer srv2.Close()
+			errs = runWorkers(ctx, map[string]*fabric.Worker{
+				"r0": newWorker(t, "r0", srv2.URL, nil),
+				"r1": newWorker(t, "r1", srv2.URL, nil),
+			})
+			for name, err := range errs {
+				if err != nil {
+					t.Errorf("resume worker %s: %v", name, err)
+				}
+			}
+			if err := waitDone(t, c2); err != nil {
+				t.Fatalf("resume after classified failure (%v) failed: %v", chaosErr, err)
+			}
+			if got := renderFabric(t, c2, exp); got != golden {
+				t.Fatalf("resume diverged from golden:\n--- golden ---\n%s--- resumed ---\n%s", golden, got)
+			}
+		})
+	}
+}
+
+// TestLinkPartitionTransient: a partition that eats a handful of requests
+// (including completions) must only cost retries, never correctness.
+func TestLinkPartitionTransient(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, _ := startCoordinator(t, t.TempDir(), false, jobs, nil)
+
+	plane := faultinject.New(faultinject.Schedule{{Point: faultinject.LinkPartition, Count: 4}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := runWorkers(ctx, map[string]*fabric.Worker{
+		"flaky": newWorker(t, "flaky", srv.URL, plane),
+		"solid": newWorker(t, "solid", srv.URL, nil),
+	})
+	for name, err := range errs {
+		if err != nil {
+			t.Errorf("worker %s: %v", name, err)
+		}
+	}
+	if err := waitDone(t, c); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if plane.Fired() == 0 {
+		t.Error("partition seam never fired")
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("tables diverge under link partitions:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+}
+
+// TestWorkerRejoinsAfterCoordinatorRestart: a worker that outlives its
+// coordinator keeps retrying with backoff and finishes the sweep against
+// the restarted incarnation on the same address.
+func TestWorkerRejoinsAfterCoordinatorRestart(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	dir := t.TempDir()
+
+	c1, srv1, store1 := startCoordinator(t, dir, false, jobs, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := newWorker(t, "steady", srv1.URL, nil)
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() { defer wg.Done(); runErr = w.Run(ctx) }()
+
+	// Let the worker land at least one result, then kill the coordinator.
+	deadline := time.Now().Add(10 * time.Second)
+	for store1.Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no results before restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	addr := srv1.Listener.Addr().String()
+	srv1.CloseClientConnections()
+	srv1.Close()
+	store1.Close()
+	_ = c1
+
+	// Same address, same ledger, new incarnation.
+	c2, srv2, _ := startCoordinator(t, dir, true, jobs, nil)
+	srv2.Close() // re-bind the httptest server onto the old address
+	reb, err := rebind(addr, c2)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer reb.Close()
+
+	if err := waitDone(t, c2); err != nil {
+		t.Fatalf("Wait after restart: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !strings.Contains(runErr.Error(), "unreachable") {
+		t.Errorf("worker: %v", runErr)
+	}
+	if st := c2.Stats(); st.JobsRecovered == 0 {
+		t.Errorf("stats = %+v, want results recovered from the ledger", st)
+	}
+	if got := renderFabric(t, c2, exp); got != golden {
+		t.Errorf("tables diverge across coordinator restart:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+}

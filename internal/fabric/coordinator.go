@@ -1,0 +1,772 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// Defaults for CoordinatorOptions zero values.
+const (
+	DefaultLeaseTTL        = 15 * time.Second
+	DefaultQuarantineAfter = 3
+	DefaultMaxTransient    = 5
+	// DefaultWaitHint paces idle workers when nothing is leasable.
+	DefaultWaitHint = 100 * time.Millisecond
+	// maxHedges bounds concurrent leases per job: the original plus one
+	// hedged duplicate.
+	maxHedges = 2
+)
+
+// CoordinatorOptions configures a sweep coordinator.
+type CoordinatorOptions struct {
+	// Jobs is the deduplicated job space (experiment.Engine.Jobs order);
+	// results render deterministically regardless of completion order.
+	Jobs []experiment.Job
+	// Store is the fsync'd ledger completed results are recorded in before
+	// acknowledgement; a coordinator restarted over the same store
+	// recovers every acknowledged result. Required.
+	Store *checkpoint.Store
+	// LeaseTTL is the job-lease deadline; a lease not renewed or completed
+	// within it is reassigned. 0 selects DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// HedgeAfter re-dispatches a straggler job to an idle worker once it
+	// has been in flight this long; first result wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// QuarantineAfter is the permanent-failure strike count that poisons a
+	// job: no more dispatches, ERR cells under KeepGoing, sweep failure
+	// otherwise. <= 0 selects DefaultQuarantineAfter.
+	QuarantineAfter int
+	// MaxTransient bounds transient-failure redispatches per job before
+	// they start counting as permanent strikes. <= 0 selects
+	// DefaultMaxTransient.
+	MaxTransient int
+	// Backoff paces job re-dispatch after failures, exactly like the local
+	// engine's retry pacing (the zero value re-dispatches immediately).
+	Backoff experiment.Backoff
+	// KeepGoing keeps the sweep running past quarantines; quarantined jobs
+	// render as ERR cells. The default fail-fast mode aborts the sweep on
+	// the first quarantine.
+	KeepGoing bool
+	// JobTimeout, when positive, is shipped with every grant as the
+	// worker-side wall-clock budget for one attempt.
+	JobTimeout time.Duration
+}
+
+func (o *CoordinatorOptions) fill() {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.QuarantineAfter <= 0 {
+		o.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if o.MaxTransient <= 0 {
+		o.MaxTransient = DefaultMaxTransient
+	}
+}
+
+// Event is one coordinator state transition, published to listeners (the
+// telemetry plane forwards them over SSE as "fabric" events).
+type Event struct {
+	Type   string `json:"type"` // lease, lease_expired, hedge, complete, duplicate, retry, quarantine, worker_seen, drain, recovered, done
+	Worker string `json:"worker,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Stats is the coordinator's live gauge set, served by /metrics and /runs.
+type Stats struct {
+	WorkersLive       int  `json:"workers_live"`
+	WorkersLost       int  `json:"workers_lost"`
+	WorkersDrained    int  `json:"workers_drained"`
+	JobsTotal         int  `json:"jobs_total"`
+	JobsDone          int  `json:"jobs_done"` // completed + quarantined
+	JobsRecovered     int  `json:"jobs_recovered"`
+	JobsInFlight      int  `json:"jobs_in_flight"`
+	JobsPending       int  `json:"jobs_pending"`
+	JobsBackoff       int  `json:"jobs_backoff"` // pending but gated by a retry delay
+	JobsQuarantined   int  `json:"jobs_quarantined"`
+	LeasesOutstanding int  `json:"leases_outstanding"`
+	Reassignments     int  `json:"reassignments"`
+	Hedges            int  `json:"hedges"`
+	Duplicates        int  `json:"duplicates"`
+	DuplicateDiverged int  `json:"duplicate_diverged"`
+	Retries           int  `json:"retries"`
+	Aborted           bool `json:"aborted"`
+}
+
+type jobState struct {
+	job           experiment.Job
+	key           string
+	label         string
+	done          bool
+	quarantined   bool
+	failure       error
+	attempts      int // dispatches so far
+	transientFail int
+	permFail      int
+	notBefore     time.Time // backoff gate for re-dispatch
+	firstDispatch time.Time // earliest outstanding dispatch, for hedging
+	leases        map[string]bool
+}
+
+type lease struct {
+	id      string
+	worker  string
+	jobIdx  int
+	expires time.Time
+}
+
+type workerState struct {
+	firstSeen time.Time
+	lastSeen  time.Time
+	draining  bool
+	completed int
+}
+
+// Coordinator shards a job space over pull workers; see the package
+// comment for the failure model. All methods are safe for concurrent use.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu      sync.Mutex
+	jobs    []*jobState
+	byKey   map[string]*jobState
+	pending []int // job indices awaiting (re-)dispatch, FIFO
+	leases  map[string]*lease
+	workers map[string]*workerState
+	seq     int
+	stats   Stats
+	abort   bool
+	doneCh  chan struct{}
+	events  []func(Event)
+	now     func() time.Time // test seam
+}
+
+// NewCoordinator builds a coordinator over the job space, recovering any
+// job whose result the store already holds (the coordinator-restart path:
+// acknowledged work is never redone).
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	opts.fill()
+	if opts.Store == nil {
+		return nil, errors.New("fabric: coordinator needs a checkpoint store")
+	}
+	c := &Coordinator{
+		opts:    opts,
+		byKey:   make(map[string]*jobState),
+		leases:  make(map[string]*lease),
+		workers: make(map[string]*workerState),
+		doneCh:  make(chan struct{}),
+		now:     time.Now,
+	}
+	c.stats.JobsTotal = len(opts.Jobs)
+	for i, j := range opts.Jobs {
+		key, err := checkpoint.KeyOf(j.Config)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: keying job %s: %w", j.Label(), err)
+		}
+		js := &jobState{job: j, key: key, label: j.Label(), leases: make(map[string]bool)}
+		c.jobs = append(c.jobs, js)
+		c.byKey[key] = js
+		var stored json.RawMessage
+		if ok, err := opts.Store.Lookup(key, &stored); err != nil {
+			return nil, err
+		} else if ok {
+			js.done = true
+			c.stats.JobsDone++
+			c.stats.JobsRecovered++
+			continue
+		}
+		c.pending = append(c.pending, i)
+	}
+	if c.stats.JobsDone == len(c.jobs) {
+		close(c.doneCh)
+	}
+	return c, nil
+}
+
+// OnEvent appends a listener; like Engine.OnProgress it must be installed
+// before traffic starts. Listeners run outside the coordinator lock.
+func (c *Coordinator) OnEvent(fn func(Event)) {
+	c.mu.Lock()
+	c.events = append(c.events, fn)
+	c.mu.Unlock()
+}
+
+// emit fans an event out to listeners; call without holding mu.
+func (c *Coordinator) emit(evs ...Event) {
+	c.mu.Lock()
+	fns := c.events
+	c.mu.Unlock()
+	for _, ev := range evs {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+// Stats returns a copy of the live gauges, expiring stale leases first so
+// the numbers reflect the current failure state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	evs := c.expireLeasesLocked(c.now())
+	st := c.statsLocked()
+	c.mu.Unlock()
+	c.emit(evs...)
+	return st
+}
+
+func (c *Coordinator) statsLocked() Stats {
+	st := c.stats
+	st.LeasesOutstanding = len(c.leases)
+	now := c.now()
+	liveWindow := 3 * c.opts.LeaseTTL
+	inFlight := make(map[int]bool)
+	for _, l := range c.leases {
+		inFlight[l.jobIdx] = true
+	}
+	st.JobsInFlight = len(inFlight)
+	for _, idx := range c.pending {
+		js := c.jobs[idx]
+		if js.done {
+			continue
+		}
+		st.JobsPending++
+		if js.notBefore.After(now) {
+			st.JobsBackoff++
+		}
+	}
+	for _, w := range c.workers {
+		switch {
+		case w.draining:
+			st.WorkersDrained++
+		case now.Sub(w.lastSeen) <= liveWindow:
+			st.WorkersLive++
+		default:
+			st.WorkersLost++
+		}
+	}
+	st.Aborted = c.abort
+	return st
+}
+
+// expireLeasesLocked reaps leases past their deadline, re-queueing their
+// jobs; returns the events to emit after unlock.
+func (c *Coordinator) expireLeasesLocked(now time.Time) []Event {
+	var evs []Event
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		delete(c.leases, id)
+		js := c.jobs[l.jobIdx]
+		delete(js.leases, id)
+		if js.done {
+			continue
+		}
+		c.stats.Reassignments++
+		if len(js.leases) == 0 {
+			c.requeueLocked(l.jobIdx)
+		}
+		evs = append(evs, Event{Type: "lease_expired", Worker: l.worker, Key: js.key, Label: js.label,
+			Detail: fmt.Sprintf("lease %s expired; job re-queued", id)})
+	}
+	return evs
+}
+
+// requeueLocked puts a job back on the pending queue unless it is already
+// there or finished.
+func (c *Coordinator) requeueLocked(idx int) {
+	for _, p := range c.pending {
+		if p == idx {
+			return
+		}
+	}
+	c.pending = append(c.pending, idx)
+}
+
+// grantLocked leases job idx to worker.
+func (c *Coordinator) grantLocked(idx int, worker string, now time.Time) (*JobGrant, Event) {
+	js := c.jobs[idx]
+	c.seq++
+	id := fmt.Sprintf("L%d", c.seq)
+	l := &lease{id: id, worker: worker, jobIdx: idx, expires: now.Add(c.opts.LeaseTTL)}
+	c.leases[id] = l
+	js.leases[id] = true
+	js.attempts++
+	if len(js.leases) == 1 {
+		js.firstDispatch = now
+	}
+	grant := &JobGrant{
+		LeaseID: id, Key: js.key, Label: js.label, Config: js.job.Config,
+		Attempt: js.attempts, TTLMs: c.opts.LeaseTTL.Milliseconds(),
+		Timeout: c.opts.JobTimeout.Milliseconds(),
+	}
+	return grant, Event{Type: "lease", Worker: worker, Key: js.key, Label: js.label,
+		Detail: fmt.Sprintf("lease %s attempt %d", id, js.attempts)}
+}
+
+// Lease is the in-process form of the lease endpoint.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	now := c.now()
+	c.mu.Lock()
+	evs := c.expireLeasesLocked(now)
+	evs = append(evs, c.touchWorkerLocked(req.Worker, now)...)
+	c.workers[req.Worker].draining = false // asking for work again
+
+	if c.abort || c.stats.JobsDone == len(c.jobs) {
+		c.mu.Unlock()
+		c.emit(evs...)
+		return LeaseResponse{Status: StatusDone}
+	}
+
+	// First choice: the oldest pending job whose backoff gate has passed.
+	var nextGate time.Time
+	for qi, idx := range c.pending {
+		js := c.jobs[idx]
+		if js.done {
+			continue
+		}
+		if js.notBefore.After(now) {
+			if nextGate.IsZero() || js.notBefore.Before(nextGate) {
+				nextGate = js.notBefore
+			}
+			continue
+		}
+		c.pending = append(c.pending[:qi], c.pending[qi+1:]...)
+		grant, ev := c.grantLocked(idx, req.Worker, now)
+		c.mu.Unlock()
+		c.emit(append(evs, ev)...)
+		return LeaseResponse{Status: StatusJob, Job: grant}
+	}
+
+	// Second choice: hedge the longest-running straggler.
+	if c.opts.HedgeAfter > 0 {
+		hedge := -1
+		var oldest time.Time
+		for idx, js := range c.jobs {
+			if js.done || len(js.leases) == 0 || len(js.leases) >= maxHedges {
+				continue
+			}
+			if now.Sub(js.firstDispatch) < c.opts.HedgeAfter {
+				continue
+			}
+			leasedHere := false
+			for id := range js.leases {
+				if l := c.leases[id]; l != nil && l.worker == req.Worker {
+					leasedHere = true
+					break
+				}
+			}
+			if leasedHere {
+				continue
+			}
+			if hedge < 0 || js.firstDispatch.Before(oldest) {
+				hedge, oldest = idx, js.firstDispatch
+			}
+		}
+		if hedge >= 0 {
+			grant, ev := c.grantLocked(hedge, req.Worker, now)
+			c.stats.Hedges++
+			ev.Type = "hedge"
+			c.mu.Unlock()
+			c.emit(append(evs, ev)...)
+			return LeaseResponse{Status: StatusJob, Job: grant}
+		}
+	}
+
+	wait := DefaultWaitHint
+	if !nextGate.IsZero() {
+		if d := nextGate.Sub(now); d < wait {
+			wait = d
+		}
+	}
+	c.mu.Unlock()
+	c.emit(evs...)
+	return LeaseResponse{Status: StatusWait, RetryMillis: wait.Milliseconds()}
+}
+
+// touchWorkerLocked records worker liveness, announcing first contact.
+// Draining status is preserved: a draining worker still completes (and
+// renews) its in-flight jobs; only a fresh lease request — it came back —
+// clears the flag (the Lease handler does that itself).
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) []Event {
+	w := c.workers[name]
+	if w == nil {
+		c.workers[name] = &workerState{firstSeen: now, lastSeen: now}
+		return []Event{{Type: "worker_seen", Worker: name}}
+	}
+	w.lastSeen = now
+	return nil
+}
+
+// Complete is the in-process form of the completion endpoint: record a
+// result (first writer wins, duplicates are byte-checked no-ops) or a
+// classified failure (transient → backoff re-queue, permanent → strike
+// toward quarantine).
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	now := c.now()
+	c.mu.Lock()
+	evs := c.touchWorkerLocked(req.Worker, now)
+	l := c.leases[req.LeaseID]
+	js := c.byKey[req.Key]
+	if l != nil {
+		// Whatever the outcome, this lease is consumed.
+		delete(c.leases, req.LeaseID)
+		if ljs := c.jobs[l.jobIdx]; ljs != nil {
+			delete(ljs.leases, req.LeaseID)
+		}
+	}
+	if js == nil {
+		c.mu.Unlock()
+		c.emit(evs...)
+		return CompleteResponse{Status: CompleteStale}, nil
+	}
+
+	if req.Result != nil {
+		resp, ev, err := c.recordResultLocked(js, req, now)
+		ev = append(ev, c.maybeFinishLocked()...)
+		resp.Done = c.isClosedLocked()
+		c.mu.Unlock()
+		c.emit(append(evs, ev...)...)
+		return resp, err
+	}
+
+	// Failure path. A failure report without a live lease for a job that
+	// is still open counts (the lease may have expired mid-attempt), but
+	// one for a finished job is just stale news.
+	if js.done {
+		resp := CompleteResponse{Status: CompleteDuplicate, Done: c.isClosedLocked()}
+		c.mu.Unlock()
+		c.emit(evs...)
+		return resp, nil
+	}
+	ev := c.recordFailureLocked(js, req, now)
+	ev = append(ev, c.maybeFinishLocked()...)
+	resp := CompleteResponse{Status: CompleteOK, Done: c.isClosedLocked()}
+	c.mu.Unlock()
+	c.emit(append(evs, ev...)...)
+	return resp, nil
+}
+
+// maybeFinishLocked closes the completion channel once every job is
+// finished (completed or quarantined) or a fail-fast quarantine aborted
+// the sweep.
+func (c *Coordinator) maybeFinishLocked() []Event {
+	if c.isClosedLocked() {
+		return nil
+	}
+	switch {
+	case c.abort:
+		close(c.doneCh)
+		return []Event{{Type: "done", Detail: "aborted on quarantine (fail-fast)"}}
+	case c.stats.JobsDone == len(c.jobs):
+		close(c.doneCh)
+		return []Event{{Type: "done"}}
+	}
+	return nil
+}
+
+func (c *Coordinator) isClosedLocked() bool {
+	select {
+	case <-c.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// recordResultLocked applies a successful completion: first writer
+// persists to the ledger and finishes the job; later writers are verified
+// byte-identical no-ops.
+func (c *Coordinator) recordResultLocked(js *jobState, req CompleteRequest, now time.Time) (CompleteResponse, []Event, error) {
+	if js.done {
+		c.stats.Duplicates++
+		var stored json.RawMessage
+		ev := Event{Type: "duplicate", Worker: req.Worker, Key: js.key, Label: js.label}
+		if ok, _ := c.opts.Store.Lookup(js.key, &stored); ok && !bytes.Equal(canonJSON(stored), canonJSON(req.Result)) {
+			// Deterministic simulation makes this unreachable; a divergence
+			// is a determinism bug worth shouting about, not silently
+			// overwriting (first result stays authoritative).
+			c.stats.DuplicateDiverged++
+			ev.Detail = "duplicate completion DIVERGED from recorded result"
+		}
+		return CompleteResponse{Status: CompleteDuplicate}, []Event{ev}, nil
+	}
+	if err := c.opts.Store.Put(js.key, req.Result); err != nil {
+		// The ledger write failed: the job cannot be acknowledged as done
+		// (durability is the contract). Count a permanent strike — the
+		// store seams are how chaos schedules exercise this path.
+		req.Error = err.Error()
+		req.Class = Classify(err)
+		req.Transient = false
+		ev := c.recordFailureLocked(js, req, now)
+		return CompleteResponse{Status: CompleteStale}, ev, err
+	}
+	js.done = true
+	js.failure = nil
+	for id := range js.leases {
+		delete(c.leases, id)
+	}
+	js.leases = make(map[string]bool)
+	c.stats.JobsDone++
+	if w := c.workers[req.Worker]; w != nil {
+		w.completed++
+	}
+	return CompleteResponse{Status: CompleteOK},
+		[]Event{{Type: "complete", Worker: req.Worker, Key: js.key, Label: js.label}}, nil
+}
+
+// canonJSON normalises a raw JSON value for byte comparison (compact,
+// field order as encoded — workers and coordinator run the same struct, so
+// compaction alone suffices).
+func canonJSON(raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// recordFailureLocked classifies one failed attempt and decides retry,
+// backoff or quarantine.
+func (c *Coordinator) recordFailureLocked(js *jobState, req CompleteRequest, now time.Time) []Event {
+	js.failure = &RemoteError{Worker: req.Worker, Msg: req.Error, Class: req.Class, IsTransnt: req.Transient}
+	transient := req.Transient && js.transientFail < c.opts.MaxTransient
+	if transient {
+		js.transientFail++
+	} else {
+		js.permFail++
+	}
+	if js.permFail >= c.opts.QuarantineAfter {
+		js.done = true
+		js.quarantined = true
+		for id := range js.leases {
+			delete(c.leases, id)
+		}
+		js.leases = make(map[string]bool)
+		c.stats.JobsDone++
+		c.stats.JobsQuarantined++
+		if !c.opts.KeepGoing {
+			c.abort = true
+		}
+		return []Event{{Type: "quarantine", Worker: req.Worker, Key: js.key, Label: js.label,
+			Detail: fmt.Sprintf("%d permanent failures: %s", js.permFail, req.Error)}}
+	}
+	// Back off before the next dispatch; the attempt counter (not the
+	// failure counter) paces the exponential curve so hedged duplicates
+	// don't collapse the delay.
+	js.notBefore = now.Add(c.opts.Backoff.Delay(js.label, js.transientFail+js.permFail-1))
+	c.stats.Retries++
+	if len(js.leases) == 0 {
+		c.requeueLocked(c.indexOfLocked(js))
+	}
+	return []Event{{Type: "retry", Worker: req.Worker, Key: js.key, Label: js.label,
+		Detail: fmt.Sprintf("class=%s transient=%v strikes=%d/%d: %s",
+			req.Class, req.Transient, js.permFail, c.opts.QuarantineAfter, req.Error)}}
+}
+
+func (c *Coordinator) indexOfLocked(js *jobState) int {
+	for i, j := range c.jobs {
+		if j == js {
+			return i
+		}
+	}
+	return -1
+}
+
+// Renew extends a lease.
+func (c *Coordinator) Renew(req RenewRequest) RenewResponse {
+	now := c.now()
+	c.mu.Lock()
+	evs := c.touchWorkerLocked(req.Worker, now)
+	l := c.leases[req.LeaseID]
+	if l == nil || now.After(l.expires) {
+		c.mu.Unlock()
+		c.emit(evs...)
+		return RenewResponse{OK: false}
+	}
+	l.expires = now.Add(c.opts.LeaseTTL)
+	c.mu.Unlock()
+	c.emit(evs...)
+	return RenewResponse{OK: true, TTLMs: c.opts.LeaseTTL.Milliseconds()}
+}
+
+// Drain marks a worker as leaving: it is no longer counted live and its
+// outstanding leases stay valid only until their normal deadlines (a
+// draining worker finishes its in-flight job and completes it; one that
+// dies anyway is reaped by lease expiry).
+func (c *Coordinator) Drain(req DrainRequest) {
+	c.mu.Lock()
+	w := c.workers[req.Worker]
+	if w == nil {
+		w = &workerState{firstSeen: c.now(), lastSeen: c.now()}
+		c.workers[req.Worker] = w
+	}
+	w.draining = true
+	c.mu.Unlock()
+	c.emit(Event{Type: "drain", Worker: req.Worker})
+}
+
+// Wait blocks until every job is finished (completed or quarantined), the
+// sweep aborts on a fail-fast quarantine, or ctx is cancelled. It returns
+// the joined failures of quarantined jobs (nil when every job completed).
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.doneCh:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	skipped := 0
+	for _, js := range c.jobs {
+		switch {
+		case js.quarantined:
+			errs = append(errs, fmt.Errorf("%s: quarantined after %d permanent failures: %w",
+				js.label, js.permFail, js.failure))
+		case !js.done:
+			skipped++
+		}
+	}
+	if skipped > 0 {
+		errs = append(errs, fmt.Errorf("fabric: sweep aborted with %d jobs unfinished", skipped))
+	}
+	return errors.Join(errs...)
+}
+
+// Done exposes the completion channel (closed when Wait would return).
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Renderer builds the table-rendering runner: completed jobs replay from
+// the ledger (byte-identical to local runs), quarantined jobs surface
+// their recorded classified failure (ERR cells under keep-going), and a
+// configuration with no recorded outcome is a hard error — the renderer
+// never simulates locally, so a rendering pass cannot mask a fabric gap.
+func (c *Coordinator) Renderer(scale experiment.Scale) *experiment.Runner {
+	r := experiment.NewRunner(scale)
+	r.Store = c.opts.Store
+	r.KeepGoing = c.opts.KeepGoing
+	r.Simulate = func(_ context.Context, cfg sim.Config) (*sim.Results, error) {
+		key, err := checkpoint.KeyOf(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		js := c.byKey[key]
+		c.mu.Unlock()
+		if js != nil && js.quarantined {
+			return nil, js.failure
+		}
+		label := key
+		if js != nil {
+			label = js.label
+		}
+		return nil, fmt.Errorf("fabric: configuration %s has no completed result", label)
+	}
+	return r
+}
+
+// Handler serves the fabric wire protocol.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Lease(req))
+	})
+	mux.HandleFunc(PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := c.Complete(req)
+		if err != nil {
+			// The ledger write failed; the worker's attempt is not
+			// acknowledged and the retry machinery owns what happens next.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc(PathRenew, func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.Renew(req))
+	})
+	mux.HandleFunc(PathDrain, func(w http.ResponseWriter, r *http.Request) {
+		var req DrainRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		c.Drain(req)
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc(PathState, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.State())
+	})
+	return mux
+}
+
+// WorkerInfo is one worker's row in the state report.
+type WorkerInfo struct {
+	Name      string `json:"name"`
+	Completed int    `json:"completed"`
+	Draining  bool   `json:"draining"`
+	LastSeen  string `json:"last_seen"`
+}
+
+// StateReport is the /fabric/v1/state payload.
+type StateReport struct {
+	Stats   Stats        `json:"stats"`
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// State snapshots the coordinator for inspection endpoints.
+func (c *Coordinator) State() StateReport {
+	st := c.Stats()
+	c.mu.Lock()
+	workers := make([]WorkerInfo, 0, len(c.workers))
+	for name, w := range c.workers {
+		workers = append(workers, WorkerInfo{
+			Name: name, Completed: w.completed, Draining: w.draining,
+			LastSeen: w.lastSeen.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Name < workers[j].Name })
+	return StateReport{Stats: st, Workers: workers}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone is not actionable
+}

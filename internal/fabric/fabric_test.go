@@ -1,0 +1,475 @@
+// Failure-matrix tests for the distributed sweep fabric. Every scenario
+// asserts the acceptance invariant: whatever the chaos — worker kills,
+// lease expiry, duplicate completions, coordinator restarts, poisoned
+// jobs — the rendered tables are byte-identical to a clean
+// single-process run of the same experiment.
+package fabric_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+// microScale mirrors the chaos harness's fidelity level: single-core,
+// seconds-fast jobs (the fabric must not care about simulation size).
+var microScale = experiment.Scale{
+	Name: "micro", Cores: 1, WorkloadScale: 0.05,
+	MaxRefs: 6_000, Warmup: 1_000,
+	SwitchCycles: 20_000, EpochLen: 1_500, OccEvery: 2_000,
+}
+
+const testStallLimit = 200_000
+
+// testBackoff keeps retry pacing fast and deterministic in tests.
+var testBackoff = experiment.Backoff{Base: time.Millisecond, Cap: 20 * time.Millisecond, Seed: 7}
+
+func expByID(t *testing.T, id string) experiment.Experiment {
+	t.Helper()
+	e, ok := experiment.ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	return e
+}
+
+// goldenTables renders the experiments through a clean single-process
+// engine — the bytes every fabric configuration must reproduce.
+func goldenTables(t *testing.T, keepGoing bool, sched faultinject.Schedule, exps ...experiment.Experiment) string {
+	t.Helper()
+	eng := experiment.NewEngine(microScale, 1)
+	eng.KeepGoing = keepGoing
+	eng.Runner.StallLimit = testStallLimit
+	if sched != nil {
+		eng.Runner.Chaos = faultinject.New(sched)
+	}
+	var sb strings.Builder
+	for _, e := range exps {
+		table, err := eng.RunContext(context.Background(), e)
+		if err != nil && !keepGoing {
+			t.Fatalf("golden run %s: %v", e.ID, err)
+		}
+		if table == nil {
+			t.Fatalf("golden run %s: no table", e.ID)
+		}
+		sb.WriteString(table.String())
+	}
+	return sb.String()
+}
+
+// renderFabric renders the experiments from the coordinator's ledger.
+func renderFabric(t *testing.T, c *fabric.Coordinator, exps ...experiment.Experiment) string {
+	t.Helper()
+	r := c.Renderer(microScale)
+	var sb strings.Builder
+	for _, e := range exps {
+		table, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("rendering %s from fabric ledger: %v", e.ID, err)
+		}
+		sb.WriteString(table.String())
+	}
+	return sb.String()
+}
+
+// startCoordinator opens a store in dir and serves a coordinator over it.
+func startCoordinator(t *testing.T, dir string, resume bool, jobs []experiment.Job,
+	mod func(*fabric.CoordinatorOptions)) (*fabric.Coordinator, *httptest.Server, *checkpoint.Store) {
+	t.Helper()
+	store, err := checkpoint.Open(dir, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	opts := fabric.CoordinatorOptions{
+		Jobs: jobs, Store: store,
+		LeaseTTL: 250 * time.Millisecond,
+		Backoff:  testBackoff,
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	c, err := fabric.NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv, store
+}
+
+// newWorker builds a test worker with fast polling and its own runner.
+func newWorker(t *testing.T, name, baseURL string, plane *faultinject.Plane) *fabric.Worker {
+	t.Helper()
+	r := experiment.NewRunner(microScale)
+	r.StallLimit = testStallLimit
+	r.Chaos = plane
+	w, err := fabric.NewWorker(fabric.WorkerOptions{
+		Name: name, BaseURL: baseURL, Runner: r,
+		Chaos: plane, Poll: 10 * time.Millisecond, Backoff: testBackoff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runWorkers runs each worker until it exits, collecting errors by name.
+func runWorkers(ctx context.Context, ws map[string]*fabric.Worker) map[string]error {
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[string]error)
+	)
+	for name, w := range ws {
+		name, w := name, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := w.Run(ctx)
+			mu.Lock()
+			errs[name] = err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+func waitDone(t *testing.T, c *fabric.Coordinator) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err := c.Wait(ctx)
+	if ctx.Err() != nil {
+		t.Fatalf("coordinator did not finish: %v (stats %+v)", ctx.Err(), c.Stats())
+	}
+	return err
+}
+
+// TestFabricMatchesSingleProcess is the base determinism contract: three
+// workers racing over the job space render the same bytes as one process.
+func TestFabricMatchesSingleProcess(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, store := startCoordinator(t, t.TempDir(), false, jobs, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ws := map[string]*fabric.Worker{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		ws[name] = newWorker(t, name, srv.URL, nil)
+	}
+	errs := runWorkers(ctx, ws)
+	for name, err := range errs {
+		if err != nil {
+			t.Errorf("worker %s: %v", name, err)
+		}
+	}
+	if err := waitDone(t, c); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("fabric tables diverge from single-process run:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+	st := c.Stats()
+	if st.JobsDone != len(jobs) || st.JobsQuarantined != 0 {
+		t.Errorf("stats = %+v, want all %d jobs done, none quarantined", st, len(jobs))
+	}
+	if store.Len() != len(jobs) {
+		t.Errorf("ledger has %d records, want %d", store.Len(), len(jobs))
+	}
+}
+
+// TestWorkerKillLeaseReassign crashes a worker right after it takes its
+// first lease; the lease must expire and the job complete elsewhere.
+func TestWorkerKillLeaseReassign(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, _ := startCoordinator(t, t.TempDir(), false, jobs, func(o *fabric.CoordinatorOptions) {
+		o.LeaseTTL = 150 * time.Millisecond
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	kill := faultinject.New(faultinject.Schedule{{Point: faultinject.WorkerKill, Nth: 1, Count: 1}})
+	errs := runWorkers(ctx, map[string]*fabric.Worker{
+		"doomed":   newWorker(t, "doomed", srv.URL, kill),
+		"survivor": newWorker(t, "survivor", srv.URL, nil),
+	})
+	if errs["doomed"] == nil || !strings.Contains(errs["doomed"].Error(), "killed") {
+		t.Errorf("doomed worker exited with %v, want injected kill", errs["doomed"])
+	}
+	if errs["survivor"] != nil {
+		t.Errorf("survivor: %v", errs["survivor"])
+	}
+	if err := waitDone(t, c); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st := c.Stats()
+	if st.Reassignments < 1 {
+		t.Errorf("stats = %+v, want at least one lease reassignment", st)
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("tables diverge after worker kill:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+}
+
+// TestDuplicateCompletionIdempotent drives the coordinator API directly:
+// the first completion wins, repeats are byte-checked no-ops, and
+// divergent bytes are detected (not silently overwritten).
+func TestDuplicateCompletionIdempotent(t *testing.T) {
+	exp := expByID(t, "fig3")
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)[:1]
+	c, _, store := startCoordinator(t, t.TempDir(), false, jobs, nil)
+
+	lr := c.Lease(fabric.LeaseRequest{Worker: "w1"})
+	if lr.Status != fabric.StatusJob || lr.Job == nil {
+		t.Fatalf("lease = %+v, want a job", lr)
+	}
+	r := experiment.NewRunner(microScale)
+	r.StallLimit = testStallLimit
+	res, err := r.RunContext(context.Background(), lr.Job.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cr, err := c.Complete(fabric.CompleteRequest{Worker: "w1", LeaseID: lr.Job.LeaseID, Key: lr.Job.Key, Result: raw})
+	if err != nil || cr.Status != fabric.CompleteOK {
+		t.Fatalf("first completion = %+v, %v; want OK", cr, err)
+	}
+	// Identical duplicate from a worker whose lease is long gone.
+	cr, err = c.Complete(fabric.CompleteRequest{Worker: "w2", LeaseID: "stale-lease", Key: lr.Job.Key, Result: raw})
+	if err != nil || cr.Status != fabric.CompleteDuplicate {
+		t.Fatalf("duplicate completion = %+v, %v; want duplicate no-op", cr, err)
+	}
+	if store.Len() != 1 || store.Records() != 1 {
+		t.Errorf("ledger has %d keys / %d records after duplicate, want 1/1", store.Len(), store.Records())
+	}
+	st := c.Stats()
+	if st.Duplicates != 1 || st.DuplicateDiverged != 0 {
+		t.Errorf("stats = %+v, want 1 clean duplicate", st)
+	}
+	// A diverging duplicate is a determinism violation: absorbed (first
+	// result stays authoritative) but counted.
+	cr, err = c.Complete(fabric.CompleteRequest{Worker: "w3", LeaseID: "stale-2", Key: lr.Job.Key,
+		Result: json.RawMessage(`{"not":"the same"}`)})
+	if err != nil || cr.Status != fabric.CompleteDuplicate {
+		t.Fatalf("diverging duplicate = %+v, %v", cr, err)
+	}
+	st = c.Stats()
+	if st.Duplicates != 2 || st.DuplicateDiverged != 1 {
+		t.Errorf("stats = %+v, want the divergence counted", st)
+	}
+	var stored json.RawMessage
+	if ok, _ := store.Lookup(lr.Job.Key, &stored); !ok || string(stored) == `{"not":"the same"}` {
+		t.Error("diverging duplicate overwrote the recorded result")
+	}
+}
+
+// TestCoordinatorRestartRecovery completes part of the sweep under one
+// coordinator, then starts a fresh coordinator over the same ledger: the
+// recorded jobs must be recovered (not redone) and the final tables must
+// match the single-process golden bytes.
+func TestCoordinatorRestartRecovery(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	dir := t.TempDir()
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	if len(jobs) < 3 {
+		t.Fatalf("need >=3 jobs, got %d", len(jobs))
+	}
+
+	// Incarnation one: only the first two jobs, run to completion.
+	c1, srv1, store1 := startCoordinator(t, dir, false, jobs[:2], nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runWorkers(ctx, map[string]*fabric.Worker{"w0": newWorker(t, "w0", srv1.URL, nil)})
+	if err := waitDone(t, c1); err != nil {
+		t.Fatalf("first incarnation: %v", err)
+	}
+	srv1.Close()
+	store1.Close()
+
+	// Incarnation two: the full job space over the same ledger.
+	c2, srv2, _ := startCoordinator(t, dir, true, jobs, nil)
+	if st := c2.Stats(); st.JobsRecovered != 2 {
+		t.Errorf("recovered %d jobs from the ledger, want 2 (stats %+v)", st.JobsRecovered, st)
+	}
+	errs := runWorkers(ctx, map[string]*fabric.Worker{"w1": newWorker(t, "w1", srv2.URL, nil)})
+	if errs["w1"] != nil {
+		t.Errorf("worker after restart: %v", errs["w1"])
+	}
+	if err := waitDone(t, c2); err != nil {
+		t.Fatalf("Wait after restart: %v", err)
+	}
+	if got := renderFabric(t, c2, exp); got != golden {
+		t.Errorf("tables diverge after coordinator restart:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+}
+
+// TestQuarantinePoisonedJob: a job that permanently fails on every
+// dispatch is quarantined after the strike limit and rendered as an ERR
+// cell under keep-going — byte-identical to a local keep-going run whose
+// job fails the same way. Without keep-going the sweep aborts.
+func TestQuarantinePoisonedJob(t *testing.T) {
+	exp := expByID(t, "fig3")
+	poison := faultinject.Schedule{{Point: faultinject.JobPanic, Count: 99, Match: "gups"}}
+	golden := goldenTables(t, true, poison, exp)
+
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, _ := startCoordinator(t, t.TempDir(), false, jobs, func(o *fabric.CoordinatorOptions) {
+		o.KeepGoing = true
+		o.QuarantineAfter = 2
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := runWorkers(ctx, map[string]*fabric.Worker{
+		"w0": newWorker(t, "w0", srv.URL, faultinject.New(poison)),
+	})
+	if errs["w0"] != nil {
+		t.Errorf("worker: %v", errs["w0"])
+	}
+	err := waitDone(t, c)
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("Wait = %v, want a quarantine error", err)
+	}
+	st := c.Stats()
+	if st.JobsQuarantined != 1 || st.JobsDone != len(jobs) {
+		t.Errorf("stats = %+v, want 1 quarantined and the sweep finished", st)
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("ERR-cell tables diverge from local keep-going run:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+
+	// Fail-fast: the same poison without keep-going aborts the sweep.
+	c2, srv2, _ := startCoordinator(t, t.TempDir(), false, jobs, func(o *fabric.CoordinatorOptions) {
+		o.QuarantineAfter = 2
+	})
+	runWorkers(ctx, map[string]*fabric.Worker{
+		"w1": newWorker(t, "w1", srv2.URL, faultinject.New(poison)),
+	})
+	err = waitDone(t, c2)
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("fail-fast Wait = %v, want quarantine error", err)
+	}
+	if st := c2.Stats(); !st.Aborted {
+		t.Errorf("stats = %+v, want aborted sweep", st)
+	}
+}
+
+// TestGracefulDrain: SIGTERM semantics — a draining worker finishes and
+// reports its in-flight job, stops leasing, and exits clean; the rest of
+// the sweep completes on another worker.
+func TestGracefulDrain(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, store := startCoordinator(t, t.TempDir(), false, jobs, nil)
+
+	// Stall the first worker's first job long enough to drain mid-job.
+	stall := faultinject.New(faultinject.Schedule{{Point: faultinject.WorkerStall, Count: 1, Dur: 300 * time.Millisecond}})
+	w0 := newWorker(t, "w0", srv.URL, stall)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- w0.Run(ctx) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for w0.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started a job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w0.Drain()
+	if !w0.Draining() {
+		t.Error("Draining() false after Drain()")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained worker exited with %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drained worker did not exit")
+	}
+	if store.Len() < 1 {
+		t.Error("drained worker abandoned its in-flight job instead of completing it")
+	}
+	if st := c.Stats(); st.WorkersDrained != 1 {
+		t.Errorf("stats = %+v, want the drained worker counted", st)
+	}
+
+	// A fresh worker finishes the remainder; bytes still golden.
+	errs := runWorkers(ctx, map[string]*fabric.Worker{"w1": newWorker(t, "w1", srv.URL, nil)})
+	if errs["w1"] != nil {
+		t.Errorf("second worker: %v", errs["w1"])
+	}
+	if err := waitDone(t, c); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("tables diverge after drain:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+}
+
+// TestHedgedStraggler: a wedged worker holds a job past the hedge
+// threshold; an idle worker gets a duplicate lease and the sweep finishes
+// without waiting for the straggler (first result wins).
+func TestHedgedStraggler(t *testing.T) {
+	exp := expByID(t, "fig3")
+	golden := goldenTables(t, false, nil, exp)
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	c, srv, _ := startCoordinator(t, t.TempDir(), false, jobs, func(o *fabric.CoordinatorOptions) {
+		o.HedgeAfter = 100 * time.Millisecond
+		o.LeaseTTL = 10 * time.Second // expiry must not be what saves the sweep
+	})
+
+	// The slow worker wedges for 5s on its first job; the sweep must
+	// finish long before that via a hedged duplicate lease.
+	stall := faultinject.New(faultinject.Schedule{{Point: faultinject.WorkerStall, Count: 1, Dur: 5 * time.Second}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); newWorker(t, "slow", srv.URL, stall).Run(ctx) }() //nolint:errcheck
+	errs := runWorkers(ctx, map[string]*fabric.Worker{"fast": newWorker(t, "fast", srv.URL, nil)})
+	if errs["fast"] != nil {
+		t.Errorf("fast worker: %v", errs["fast"])
+	}
+	start := time.Now()
+	if err := waitDone(t, c); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*time.Second {
+		t.Errorf("sweep waited %v for the straggler; hedging did not kick in", elapsed)
+	}
+	if st := c.Stats(); st.Hedges < 1 {
+		t.Errorf("stats = %+v, want at least one hedge", st)
+	}
+	if got := renderFabric(t, c, exp); got != golden {
+		t.Errorf("tables diverge with hedged dispatch:\n--- golden ---\n%s--- fabric ---\n%s", golden, got)
+	}
+	cancel()
+	wg.Wait()
+}

@@ -1,0 +1,202 @@
+// Package fabric is the distributed sweep plane: a crash-tolerant
+// coordinator that shards the deduplicated (mix × config) job space over
+// HTTP pull workers (cmd/csaltd), leases jobs with deadlines, and renders
+// final tables byte-identical to a single-process run no matter how many
+// workers participate, crash, stall, partition or rejoin mid-sweep.
+//
+// The determinism contract is the one PR 1 established for -parallel and
+// PR 3 for -resume: results are idempotently keyed by the checkpoint key
+// of their configuration, every completed result is fsync'd into the
+// coordinator's JSONL ledger before it is acknowledged, and tables are
+// rendered sequentially from that ledger — so worker count, interleaving,
+// duplicate completions from hedged dispatch, lease-expiry reassignment
+// and coordinator restarts are all invisible in the output bytes.
+//
+// Failure menu (see ROBUSTNESS.md, "Distributed sweeps"):
+//
+//   - worker crash/partition: the lease deadline expires and the job is
+//     reassigned to the next worker that asks.
+//   - slow worker: once a job has been in flight longer than the hedge
+//     threshold, an idle worker is handed a duplicate lease; the first
+//     completion wins and later ones are byte-identical no-ops.
+//   - coordinator crash: a restarted coordinator replays the ledger,
+//     marks recorded jobs done, and re-queues the rest.
+//   - poisoned job: failures are classified with the TransientError
+//     semantics of the local engine — transient ones retry with capped
+//     seeded-jitter backoff, permanent ones quarantine the job after N
+//     strikes (rendered as ERR cells under keep-going).
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/invariant"
+	"github.com/csalt-sim/csalt/internal/sim"
+)
+
+// HTTP endpoints the coordinator serves (see Coordinator.Handler).
+// PathPrefix is the mount point for the whole protocol tree, for hosts
+// that carry it on a shared mux (telemetry.Server.Handle).
+const (
+	PathPrefix   = "/fabric/v1/"
+	PathLease    = "/fabric/v1/lease"
+	PathComplete = "/fabric/v1/complete"
+	PathRenew    = "/fabric/v1/renew"
+	PathDrain    = "/fabric/v1/drain"
+	PathState    = "/fabric/v1/state"
+)
+
+// Lease statuses returned by the coordinator.
+const (
+	// StatusJob: a job grant accompanies the response.
+	StatusJob = "job"
+	// StatusWait: nothing leasable right now (backoff gates or all work
+	// in flight); retry after RetryMillis.
+	StatusWait = "wait"
+	// StatusDone: the sweep is finished (or aborted); the worker should
+	// exit its loop.
+	StatusDone = "done"
+)
+
+// Complete statuses.
+const (
+	// CompleteOK: the result (or failure) was recorded.
+	CompleteOK = "ok"
+	// CompleteDuplicate: the job already had a recorded result; the
+	// submission was a byte-identical no-op.
+	CompleteDuplicate = "duplicate"
+	// CompleteStale: the lease was unknown and the payload could not be
+	// applied (e.g. a failure report for a job someone else completed).
+	CompleteStale = "stale"
+)
+
+// LeaseRequest asks for one job lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// JobGrant is one leased job: the full simulator configuration plus the
+// identity the worker must echo back on completion.
+type JobGrant struct {
+	LeaseID string     `json:"lease_id"`
+	Key     string     `json:"key"`   // checkpoint key: the idempotency identity
+	Label   string     `json:"label"` // human-readable job label for logs
+	Config  sim.Config `json:"config"`
+	Attempt int        `json:"attempt"`    // dispatch ordinal for this job (1-based)
+	TTLMs   int64      `json:"ttl_ms"`     // lease deadline; renew before it expires
+	Timeout int64      `json:"timeout_ms"` // per-job wall-clock budget (0 = none)
+}
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status      string    `json:"status"` // StatusJob | StatusWait | StatusDone
+	RetryMillis int64     `json:"retry_ms,omitempty"`
+	Job         *JobGrant `json:"job,omitempty"`
+}
+
+// CompleteRequest reports a leased job's outcome. Exactly one of Result
+// (success) or Error (failure) is set. Result is the worker's own JSON
+// encoding of sim.Results, stored verbatim in the coordinator's ledger so
+// the stored bytes match what a local run of the same configuration would
+// have written.
+type CompleteRequest struct {
+	Worker    string          `json:"worker"`
+	LeaseID   string          `json:"lease_id"`
+	Key       string          `json:"key"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Class     string          `json:"class,omitempty"` // Classify() of the failure
+	Transient bool            `json:"transient,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Done piggybacks sweep
+// completion on the acknowledgement: the worker that delivers the final
+// result learns the sweep is over without another lease round trip —
+// the coordinator may shut its listener the moment the sweep finishes,
+// so a follow-up lease poll could find nobody home.
+type CompleteResponse struct {
+	Status string `json:"status"` // CompleteOK | CompleteDuplicate | CompleteStale
+	Done   bool   `json:"done,omitempty"`
+}
+
+// RenewRequest extends a lease while its job is still running.
+type RenewRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// RenewResponse reports whether the lease is still held. OK false means
+// the lease expired (and the job may have been reassigned); the worker may
+// keep running — first result wins — but should expect a duplicate ack.
+type RenewResponse struct {
+	OK    bool  `json:"ok"`
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// DrainRequest announces a graceful worker departure: the coordinator
+// stops considering the worker live and re-queues any leases it still
+// holds once they are not completed by the drain deadline.
+type DrainRequest struct {
+	Worker string `json:"worker"`
+}
+
+// RemoteError is a worker-reported job failure as the coordinator records
+// it: the rendered message plus the classification that decides retry vs
+// quarantine. It preserves the Transient() contract across the wire.
+type RemoteError struct {
+	Worker    string
+	Msg       string
+	Class     string
+	IsTransnt bool
+}
+
+// Error renders "class from worker: message".
+func (e *RemoteError) Error() string {
+	c := e.Class
+	if c == "" {
+		c = "unclassified"
+	}
+	return c + " failure from " + e.Worker + ": " + e.Msg
+}
+
+// Transient satisfies the experiment.IsTransient contract.
+func (e *RemoteError) Transient() bool { return e.IsTransnt }
+
+// Classify maps a failure's error chain to its robustness class — the
+// same buckets the local chaos harness uses (internal/chaos.Classify),
+// reimplemented here so the fabric stays importable from the telemetry
+// plane. Empty string means unclassifiable.
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var (
+		pe *experiment.PanicError
+		se *sim.StallError
+		ce *checkpoint.StoreError
+		re *RemoteError
+	)
+	switch {
+	case errors.As(err, &re):
+		return re.Class
+	case func() bool { _, ok := invariant.IsViolation(err); return ok }():
+		return "invariant"
+	case errors.As(err, &pe):
+		return "panic"
+	case errors.As(err, &se):
+		return "stall"
+	case errors.As(err, &ce):
+		return "store"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case experiment.IsTransient(err):
+		return "transient"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	}
+	return ""
+}

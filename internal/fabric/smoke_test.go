@@ -1,0 +1,86 @@
+package fabric_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+// TestFabricSmoke is the acceptance scenario from the issue, end to end:
+// a two-figure sweep sharded over two workers, one worker killed by fault
+// injection mid-sweep, the coordinator itself restarted over its ledger —
+// and the final tables' sha256 equal to a clean single-process run's.
+func TestFabricSmoke(t *testing.T) {
+	fig3, fig8 := expByID(t, "fig3"), expByID(t, "fig8")
+	golden := goldenTables(t, false, nil, fig3, fig8)
+	goldenSum := sha256.Sum256([]byte(golden))
+
+	jobs := experiment.NewEngine(microScale, 1).Jobs(fig3, fig8)
+	dir := t.TempDir()
+
+	// Incarnation one: two workers, one of which is killed as it takes
+	// its second lease. Tear the coordinator down (simulated crash) once
+	// half the job space is in the ledger.
+	c1, srv1, store1 := startCoordinator(t, dir, false, jobs, func(o *fabric.CoordinatorOptions) {
+		o.LeaseTTL = 200 * time.Millisecond
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	kill := faultinject.New(faultinject.Schedule{{Point: faultinject.WorkerKill, Nth: 2, Count: 1}})
+	var wg sync.WaitGroup
+	for _, w := range []*fabric.Worker{
+		newWorker(t, "doomed", srv1.URL, kill),
+		newWorker(t, "steady-1", srv1.URL, nil),
+	} {
+		w := w
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }() //nolint:errcheck // kill/cancel expected
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for store1.Len() < len(jobs)/2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first incarnation stalled at %d/%d results", store1.Len(), len(jobs))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel() // coordinator "crash": workers abandoned mid-flight
+	wg.Wait()
+	srv1.Close()
+	recorded := store1.Len()
+	store1.Close()
+	_ = c1
+
+	// Incarnation two: restart over the ledger, finish with fresh workers.
+	c2, srv2, _ := startCoordinator(t, dir, true, jobs, nil)
+	if st := c2.Stats(); st.JobsRecovered < recorded {
+		t.Errorf("recovered %d jobs, ledger had %d", st.JobsRecovered, recorded)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	errs := runWorkers(ctx2, map[string]*fabric.Worker{
+		"steady-2": newWorker(t, "steady-2", srv2.URL, nil),
+		"steady-3": newWorker(t, "steady-3", srv2.URL, nil),
+	})
+	for name, err := range errs {
+		if err != nil {
+			t.Errorf("worker %s: %v", name, err)
+		}
+	}
+	if err := waitDone(t, c2); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	got := renderFabric(t, c2, fig3, fig8)
+	gotSum := sha256.Sum256([]byte(got))
+	if gotSum != goldenSum {
+		t.Errorf("table sha256 %s != golden %s after kill+restart:\n--- golden ---\n%s--- fabric ---\n%s",
+			hex.EncodeToString(gotSum[:8]), hex.EncodeToString(goldenSum[:8]), golden, got)
+	}
+}

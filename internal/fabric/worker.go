@@ -1,0 +1,331 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+)
+
+// WorkerOptions configures one pull worker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (lease ownership,
+	// liveness, drain). Required.
+	Name string
+	// BaseURL is the coordinator's root, e.g. "http://127.0.0.1:8080".
+	// Required.
+	BaseURL string
+	// Runner executes leased jobs. It should run with KeepGoing=false so
+	// failures surface to the coordinator's classification machinery
+	// instead of being masked locally. Required.
+	Runner *experiment.Runner
+	// Client is the HTTP client; nil uses a default with sane timeouts.
+	Client *http.Client
+	// Chaos, when non-nil, arms the wire fault seams: worker.kill
+	// (simulated crash after taking a lease — the job is abandoned and the
+	// worker exits) and link.partition (one request's round trip fails).
+	Chaos *faultinject.Plane
+	// Poll paces lease requests when the coordinator says wait and caps
+	// the coordinator's own retry hints. 0 selects 200ms.
+	Poll time.Duration
+	// Backoff paces retries of failed coordinator round trips.
+	Backoff experiment.Backoff
+}
+
+// ErrKilled reports a worker that exited through the worker.kill chaos
+// seam — a simulated crash, distinguishable from clean completion.
+var ErrKilled = errors.New("fabric: worker killed by fault injection")
+
+// maxLeaseNetFails bounds consecutive coordinator round-trip failures in
+// the lease loop (~1.5 minutes at the default backoff curve) so an
+// orphaned worker eventually exits instead of polling a dead address.
+const maxLeaseNetFails = 20
+
+// Worker pulls jobs from a coordinator until the sweep is done, the
+// context is cancelled, or a drain is requested.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+
+	mu       sync.Mutex
+	draining bool
+	inFlight int
+}
+
+// NewWorker validates options and builds a worker.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Name == "" || opts.BaseURL == "" || opts.Runner == nil {
+		return nil, errors.New("fabric: worker needs Name, BaseURL and Runner")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 200 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.Chaos != nil {
+		// Wrap the transport so link.partition can fail individual round
+		// trips; keys are "worker endpoint" so schedules can target one
+		// worker's completes vs leases.
+		inner := client.Transport
+		if inner == nil {
+			inner = http.DefaultTransport
+		}
+		wrapped := *client
+		wrapped.Transport = &chaosTransport{inner: inner, plane: opts.Chaos, worker: opts.Name}
+		client = &wrapped
+	}
+	return &Worker{opts: opts, client: client}, nil
+}
+
+// chaosTransport injects link.partition failures into the worker's
+// coordinator traffic.
+type chaosTransport struct {
+	inner  http.RoundTripper
+	plane  *faultinject.Plane
+	worker string
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	key := t.worker + " " + req.URL.Path
+	if _, ok := t.plane.Fire(faultinject.LinkPartition, key); ok {
+		return nil, fmt.Errorf("fabric: injected partition (%s): %w", key, errPartition)
+	}
+	return t.inner.RoundTrip(req)
+}
+
+var errPartition = errors.New("link partitioned")
+
+// Drain asks the worker to stop leasing new jobs, finish what is in
+// flight, and exit Run. It also notifies the coordinator so leasing
+// decisions stop counting this worker as live. Safe to call from a signal
+// handler goroutine.
+func (w *Worker) Drain() {
+	w.mu.Lock()
+	already := w.draining
+	w.draining = true
+	w.mu.Unlock()
+	if already {
+		return
+	}
+	// Best effort: the lease loop exiting is the real mechanism.
+	w.post(context.Background(), PathDrain, DrainRequest{Worker: w.opts.Name}, &struct{}{}) //nolint:errcheck
+}
+
+// Draining reports whether a drain has been requested (the /readyz gate).
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// InFlight reports how many jobs the worker is currently executing.
+func (w *Worker) InFlight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inFlight
+}
+
+// Run pulls and executes jobs until the coordinator reports the sweep
+// done (returns nil), the context is cancelled (returns ctx.Err()), a
+// drain completes (returns nil), or the worker.kill seam fires (returns
+// ErrKilled).
+func (w *Worker) Run(ctx context.Context) error {
+	netFails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.Draining() {
+			return nil
+		}
+		var lr LeaseResponse
+		if err := w.post(ctx, PathLease, LeaseRequest{Worker: w.opts.Name}, &lr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Coordinator unreachable (restart, partition): back off and
+			// retry — partitions are transient by contract. A coordinator
+			// gone for good (sweep finished, process exited) eventually
+			// exhausts the budget so the worker doesn't poll forever.
+			netFails++
+			if netFails > maxLeaseNetFails {
+				return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", netFails, err)
+			}
+			if !w.sleep(ctx, w.opts.Backoff.Delay(w.opts.Name+" lease", netFails-1)) {
+				return ctx.Err()
+			}
+			continue
+		}
+		netFails = 0
+		switch lr.Status {
+		case StatusDone:
+			return nil
+		case StatusWait:
+			d := w.opts.Poll
+			if lr.RetryMillis > 0 && time.Duration(lr.RetryMillis)*time.Millisecond < d {
+				d = time.Duration(lr.RetryMillis) * time.Millisecond
+			}
+			if !w.sleep(ctx, d) {
+				return ctx.Err()
+			}
+		case StatusJob:
+			if lr.Job == nil {
+				continue
+			}
+			// The kill seam models a crash at the worst moment: lease
+			// taken, work abandoned, no goodbye. Recovery must come
+			// entirely from lease expiry on the coordinator side.
+			if _, ok := w.opts.Chaos.Fire(faultinject.WorkerKill, w.opts.Name); ok {
+				return ErrKilled
+			}
+			done, err := w.execute(ctx, lr.Job)
+			if err != nil {
+				return err
+			}
+			if done {
+				// The completion acknowledgement said the sweep is over;
+				// don't race a farewell lease poll against the
+				// coordinator's shutdown.
+				return nil
+			}
+		default:
+			return fmt.Errorf("fabric: coordinator sent unknown lease status %q", lr.Status)
+		}
+	}
+}
+
+// execute runs one granted job and reports its outcome, returning done
+// when the completion acknowledgement marked the whole sweep finished.
+// Only context cancellation of the worker itself propagates as an error;
+// job failures are reported to the coordinator, which owns retry policy.
+func (w *Worker) execute(ctx context.Context, job *JobGrant) (bool, error) {
+	w.mu.Lock()
+	w.inFlight++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.inFlight--
+		w.mu.Unlock()
+	}()
+
+	// Renew the lease at TTL/3 while the job runs. Renewal failures are
+	// deliberately ignored: if the lease lapses the job may be reassigned,
+	// and first-result-wins makes the race harmless.
+	jobCtx := ctx
+	var cancel context.CancelFunc
+	if job.Timeout > 0 {
+		jobCtx, cancel = context.WithTimeout(ctx, time.Duration(job.Timeout)*time.Millisecond)
+		defer cancel()
+	}
+	stopRenew := make(chan struct{})
+	var renewWG sync.WaitGroup
+	if ttl := time.Duration(job.TTLMs) * time.Millisecond; ttl > 0 {
+		renewWG.Add(1)
+		go func() {
+			defer renewWG.Done()
+			t := time.NewTicker(ttl / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					return
+				case <-t.C:
+					var rr RenewResponse
+					w.post(ctx, PathRenew, RenewRequest{Worker: w.opts.Name, LeaseID: job.LeaseID}, &rr) //nolint:errcheck
+				}
+			}
+		}()
+	}
+
+	if job.Attempt > 1 {
+		// A re-dispatch must actually retry: drop any failure this worker
+		// memoised for the config under an earlier lease.
+		w.opts.Runner.Forget(job.Config)
+	}
+	res, err := w.opts.Runner.RunContext(jobCtx, job.Config)
+	close(stopRenew)
+	renewWG.Wait()
+
+	req := CompleteRequest{Worker: w.opts.Name, LeaseID: job.LeaseID, Key: job.Key}
+	switch {
+	case err == nil:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			err = fmt.Errorf("fabric: encoding result for %s: %w", job.Label, merr)
+			req.Error, req.Class, req.Transient = err.Error(), Classify(err), false
+		} else {
+			req.Result = raw
+		}
+	case ctx.Err() != nil:
+		// The worker itself is shutting down; don't report a spurious
+		// failure — the lease will expire and the job will be reassigned.
+		return false, ctx.Err()
+	default:
+		req.Error, req.Class, req.Transient = err.Error(), Classify(err), experiment.IsTransient(err)
+	}
+
+	// Deliver the completion with bounded retries; losing it is safe
+	// (lease expiry re-dispatches) but wasteful.
+	for attempt := 0; attempt < 5; attempt++ {
+		var cr CompleteResponse
+		if perr := w.post(ctx, PathComplete, req, &cr); perr == nil {
+			return cr.Done, nil
+		} else if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		if !w.sleep(ctx, w.opts.Backoff.Delay(w.opts.Name+" complete", attempt)) {
+			return false, ctx.Err()
+		}
+	}
+	return false, nil
+}
+
+// sleep waits d (or not at all for d<=0) unless ctx ends first; reports
+// whether the context is still live.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// post sends one JSON request to a coordinator endpoint and decodes the
+// response into out.
+func (w *Worker) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fabric: %s returned %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -169,15 +169,49 @@ func TestGenerateStable(t *testing.T) {
 }
 
 func TestGenerateCoversMenu(t *testing.T) {
+	// The local generator covers the in-process seams; the fabric
+	// generator adds the wire seams (worker.kill, link.partition). Between
+	// them every known point must be reachable.
 	seen := make(map[Point]bool)
 	for seed := uint64(0); seed < 500; seed++ {
 		for _, r := range Generate(seed) {
+			seen[r.Point] = true
+		}
+		for _, r := range GenerateFabric(seed) {
 			seen[r.Point] = true
 		}
 	}
 	for pt := range knownPoints {
 		if !seen[pt] {
 			t.Errorf("point %s never generated in 500 seeds", pt)
+		}
+	}
+}
+
+func TestGenerateFabric(t *testing.T) {
+	wire := make(map[Point]bool)
+	for seed := uint64(0); seed < 300; seed++ {
+		sched := GenerateFabric(seed)
+		if sched.String() != GenerateFabric(seed).String() {
+			t.Fatalf("seed %d: fabric schedule not deterministic", seed)
+		}
+		if _, err := Parse(sched.String()); err != nil {
+			t.Fatalf("seed %d: fabric schedule %q does not re-parse: %v", seed, sched, err)
+		}
+		kills := 0
+		for _, r := range sched {
+			wire[r.Point] = true
+			if r.Point == WorkerKill {
+				kills += r.max()
+			}
+		}
+		if kills > 1 {
+			t.Fatalf("seed %d: schedule %q kills %d workers (max 1, a survivor is required)", seed, sched, kills)
+		}
+	}
+	for _, pt := range []Point{WorkerKill, LinkPartition} {
+		if !wire[pt] {
+			t.Errorf("wire point %s never generated in 300 seeds", pt)
 		}
 	}
 }

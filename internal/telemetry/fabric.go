@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"github.com/csalt-sim/csalt/internal/fabric"
+	"github.com/csalt-sim/csalt/internal/obs"
+)
+
+// AttachFabric wires a sweep coordinator into the plane: its live gauges
+// join /metrics as the csalt_fabric_* family, its worker roster and job
+// accounting join /runs, and every coordinator state transition (lease,
+// expiry, hedge, completion, duplicate, retry, quarantine, drain) streams
+// over /events as a "fabric" event. A quarantine degrades Health — the
+// sweep keeps going under keep-going, but /healthz turns 503 with the
+// first quarantined job as the sticky root cause, exactly like a local
+// stall watchdog. Install before traffic starts, like OnEvent itself.
+func (s *Server) AttachFabric(c *fabric.Coordinator) {
+	s.mu.Lock()
+	s.fabric = c
+	s.mu.Unlock()
+	c.OnEvent(func(ev fabric.Event) {
+		if ev.Type == "quarantine" {
+			s.Health.Degrade("job quarantined: " + ev.Label + " (" + ev.Detail + ")")
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		s.Events.Publish(Event{Type: "fabric", Data: data})
+	})
+}
+
+// writeFabricMetrics renders the csalt_fabric_* gauge family.
+func writeFabricMetrics(pw *obs.PromWriter, st fabric.Stats) {
+	fg := func(name, help string, v float64) {
+		pw.Gauge(MetricsPrefix+"_fabric_"+name, help, nil, v)
+	}
+	fg("workers_live", "Workers seen within the liveness window.", float64(st.WorkersLive))
+	fg("workers_lost", "Workers silent past the liveness window.", float64(st.WorkersLost))
+	fg("workers_drained", "Workers that announced a graceful drain.", float64(st.WorkersDrained))
+	fg("jobs_total", "Jobs in the sharded sweep.", float64(st.JobsTotal))
+	fg("jobs_done", "Jobs finished (completed or quarantined).", float64(st.JobsDone))
+	fg("jobs_recovered", "Jobs recovered from the ledger at coordinator start.", float64(st.JobsRecovered))
+	fg("jobs_in_flight", "Jobs with at least one outstanding lease.", float64(st.JobsInFlight))
+	fg("jobs_pending", "Jobs awaiting (re-)dispatch.", float64(st.JobsPending))
+	fg("jobs_backoff", "Pending jobs gated by a retry backoff delay.", float64(st.JobsBackoff))
+	fg("jobs_quarantined", "Jobs poisoned after repeated permanent failures.", float64(st.JobsQuarantined))
+	fg("leases_outstanding", "Unexpired job leases.", float64(st.LeasesOutstanding))
+	fg("reassignments_total", "Leases expired and re-queued (crashed or stalled workers).", float64(st.Reassignments))
+	fg("hedges_total", "Straggler jobs re-dispatched to an idle worker.", float64(st.Hedges))
+	fg("duplicates_total", "Duplicate completions absorbed as no-ops.", float64(st.Duplicates))
+	fg("duplicates_diverged_total", "Duplicate completions whose bytes diverged from the recorded result (determinism violations).", float64(st.DuplicateDiverged))
+	fg("retries_total", "Failed attempts re-queued for another dispatch.", float64(st.Retries))
+}

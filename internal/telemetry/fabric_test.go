@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/experiment"
+	"github.com/csalt-sim/csalt/internal/fabric"
+)
+
+// fabricFixture builds a coordinator over the fig3 micro job space,
+// attached to a telemetry server whose mux also carries the fabric wire
+// protocol — the -serve wiring, in-process.
+func fabricFixture(t *testing.T, mod func(*fabric.CoordinatorOptions)) (*Server, *fabric.Coordinator, *httptest.Server, int) {
+	t.Helper()
+	exp, ok := experiment.ByID("fig3")
+	if !ok {
+		t.Fatal("fig3 not registered")
+	}
+	jobs := experiment.NewEngine(microScale, 1).Jobs(exp)
+	store, err := checkpoint.Open(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	opts := fabric.CoordinatorOptions{Jobs: jobs, Store: store}
+	if mod != nil {
+		mod(&opts)
+	}
+	coord, err := fabric.NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer()
+	t.Cleanup(func() { s.Close() })
+	s.AttachFabric(coord)
+	s.AttachStore(store)
+	s.Handle(fabric.PathPrefix, coord.Handler())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, coord, ts, len(jobs)
+}
+
+// TestFabricMetricsAndRuns: the csalt_fabric_* family appears on /metrics
+// and the worker roster on /runs, tracking live coordinator state, and the
+// fabric wire protocol rides the same mux as the observability plane.
+func TestFabricMetricsAndRuns(t *testing.T) {
+	_, coord, ts, total := fabricFixture(t, nil)
+
+	if lr := coord.Lease(fabric.LeaseRequest{Worker: "rack7"}); lr.Status != fabric.StatusJob {
+		t.Fatalf("lease = %+v", lr)
+	}
+	_, body := get(t, ts, "/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("csalt_fabric_jobs_total %d", total),
+		"csalt_fabric_jobs_in_flight 1",
+		"csalt_fabric_leases_outstanding 1",
+		"csalt_fabric_workers_live 1",
+		"csalt_fabric_jobs_quarantined 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, grepLines(body, "csalt_fabric"))
+		}
+	}
+	_, runs := get(t, ts, "/runs")
+	if !strings.Contains(runs, `"fabric"`) || !strings.Contains(runs, `"rack7"`) {
+		t.Errorf("/runs lacks the fabric section or worker roster:\n%s", runs)
+	}
+
+	resp, _ := get(t, ts, fabric.PathState)
+	if resp.StatusCode != 200 {
+		t.Errorf("GET %s via telemetry mux = %d", fabric.PathState, resp.StatusCode)
+	}
+}
+
+// TestQuarantineDegradesHealth: a quarantined job flips /healthz to a
+// sticky 503 naming the job, bumps the quarantine gauge, and reaches
+// listeners installed alongside the telemetry hook.
+func TestQuarantineDegradesHealth(t *testing.T) {
+	s, coord, ts, _ := fabricFixture(t, func(o *fabric.CoordinatorOptions) {
+		o.KeepGoing = true
+		o.QuarantineAfter = 1
+	})
+	var seen []fabric.Event
+	coord.OnEvent(func(ev fabric.Event) { seen = append(seen, ev) })
+	s.Health.SetReady(true)
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("/healthz before quarantine = %d", resp.StatusCode)
+	}
+
+	lr := coord.Lease(fabric.LeaseRequest{Worker: "w0"})
+	if lr.Status != fabric.StatusJob {
+		t.Fatalf("lease = %+v", lr)
+	}
+	if _, err := coord.Complete(fabric.CompleteRequest{
+		Worker: "w0", LeaseID: lr.Job.LeaseID, Key: lr.Job.Key,
+		Error: "model invariant violated", Class: "invariant",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != 503 || !strings.Contains(body, "quarantined") {
+		t.Errorf("/healthz after quarantine = %d %q, want 503 naming the quarantine", resp.StatusCode, body)
+	}
+	quarantined := false
+	for _, ev := range seen {
+		if ev.Type == "quarantine" && ev.Label == lr.Job.Label {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Errorf("no quarantine event reached the listener: %+v", seen)
+	}
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(metrics, "csalt_fabric_jobs_quarantined 1") {
+		t.Errorf("/metrics quarantine gauge:\n%s", grepLines(metrics, "quarantined"))
+	}
+}
