@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos race-fabric fabric-smoke fuzz fuzz-engines equivalence alloc golden-update bench bench-json introspect-smoke check
+.PHONY: build vet test test-short race race-short race-fault race-telemetry race-chaos race-fabric race-snapshot fabric-smoke fuzz fuzz-engines fuzz-snapshot equivalence alloc golden-update bench bench-json introspect-smoke check
 
 # Every test invocation gets a hard -timeout (a wedged test must fail, not
 # hang CI — the same philosophy as the simulator's own watchdogs) and
@@ -66,6 +66,16 @@ race-chaos:
 race-fabric:
 	$(GO) test $(TESTFLAGS) -race -short ./internal/fabric/
 
+# Race coverage of the durable mid-run snapshot plane: the codec's
+# corruption/torn-tail/version-skew detection, the sim-level
+# byte-identical resume contract on both engines, and the runner's
+# concurrent drain-stop/restore path. -short skips only the full
+# equivalence-matrix resume sweep, which the plain test run still covers.
+race-snapshot:
+	$(GO) test $(TESTFLAGS) -race ./internal/snapshot/
+	$(GO) test $(TESTFLAGS) -race -short -run 'TestSnapshot' ./internal/sim/
+	$(GO) test $(TESTFLAGS) -race -run 'Snapshot' ./internal/experiment/
+
 # Fabric end-to-end smoke, the acceptance scenario from the issue: a
 # two-figure sweep sharded over workers with a worker killed mid-sweep
 # and the coordinator restarted over its ledger, final tables' sha256
@@ -86,6 +96,12 @@ fuzz:
 # metrics required. Extend -fuzztime for deeper soaks.
 fuzz-engines:
 	$(GO) test ./internal/sim/ -run '^$$' -fuzz FuzzEngineEquivalence -fuzztime 30s
+
+# Bounded fuzz pass over the snapshot codec: encode→decode→re-encode must
+# reproduce the exact bytes and single-byte damage must never decode
+# silently. Extend -fuzztime for deeper soaks.
+fuzz-snapshot:
+	$(GO) test ./internal/snapshot/ -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 30s
 
 # Differential-equivalence suite: the curated fig3/fig8-style matrix plus
 # the golden experiment tables, both engines, invariant checks armed.
@@ -125,4 +141,4 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchreg -dir .
 
-check: build vet test alloc race-short race-fault race-telemetry race-chaos race-fabric introspect-smoke
+check: build vet test alloc race-short race-fault race-telemetry race-chaos race-fabric race-snapshot introspect-smoke

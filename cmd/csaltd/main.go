@@ -13,8 +13,14 @@
 //
 // Graceful drain: SIGTERM stops leasing new jobs, finishes and reports the
 // jobs in flight, flips /readyz (when -listen is set) to 503, notifies the
-// coordinator, and exits 0. SIGINT cancels hard and exits 130; in-flight
+// coordinator, and exits 0. With -snapshot-dir the drain is faster and
+// loses no work: in-flight jobs stop at their next poll boundary with a
+// durable mid-run snapshot persisted, their leases expire, and the workers
+// reassigned those jobs resume from the snapshots (see ROBUSTNESS.md,
+// "Mid-run snapshots"). SIGINT cancels hard and exits 130; in-flight
 // leases then expire on the coordinator and the jobs are reassigned.
+// SIGQUIT dumps live diagnostics (goroutine stacks, in-flight counts,
+// snapshot age) to stderr without exiting.
 //
 // Fault injection (-chaos) arms the wire seams for the robustness
 // harness: "worker.kill:1@2" crashes the worker as it takes its 2nd
@@ -39,6 +45,7 @@ import (
 	"github.com/csalt-sim/csalt/internal/experiment"
 	"github.com/csalt-sim/csalt/internal/fabric"
 	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/obs"
 	"github.com/csalt-sim/csalt/internal/telemetry"
 )
 
@@ -59,6 +66,8 @@ func main() {
 		retries     = flag.Int("retries", 0, "local bounded retries for transient failures before reporting to the coordinator")
 		chaosSpec   = flag.String("chaos", "", "fault-injection schedule incl. wire seams worker.kill/link.partition")
 		listen      = flag.String("listen", "", "serve this worker's telemetry plane on this address (/metrics /healthz /readyz /events /runs)")
+		snapDir     = flag.String("snapshot-dir", "", "write durable mid-run snapshots of in-flight jobs into this directory and resume leased jobs from their newest valid snapshot")
+		snapEvery   = flag.Uint64("snapshot-every", 0, "with -snapshot-dir: snapshot cadence in simulation steps (0 = a sensible default)")
 	)
 	flag.Parse()
 
@@ -96,6 +105,12 @@ func main() {
 	runner.MaxRetries = *retries
 	runner.Retry = experiment.DefaultBackoff(1)
 	runner.Chaos = plane
+	if *snapEvery > 0 && *snapDir == "" {
+		fmt.Fprintln(os.Stderr, "csaltd: -snapshot-every needs -snapshot-dir")
+		os.Exit(exitUsage)
+	}
+	runner.SnapshotDir = *snapDir
+	runner.SnapshotEvery = *snapEvery
 
 	var tel *telemetry.Server
 	if *listen != "" {
@@ -145,7 +160,16 @@ func main() {
 		}
 		sig := <-sigCh
 		if sig == syscall.SIGTERM {
-			fmt.Fprintln(os.Stderr, "csaltd: SIGTERM: draining (finishing in-flight jobs)")
+			if *snapDir != "" {
+				// Snapshot drain: in-flight jobs stop at their next poll
+				// boundary with a final snapshot persisted, their leases
+				// expire, and whichever worker is reassigned them resumes
+				// mid-run instead of from cycle zero.
+				fmt.Fprintln(os.Stderr, "csaltd: SIGTERM: draining (snapshotting in-flight jobs)")
+				runner.SnapshotStopAll()
+			} else {
+				fmt.Fprintln(os.Stderr, "csaltd: SIGTERM: draining (finishing in-flight jobs)")
+			}
 			if tel != nil {
 				tel.Health.SetReady(false)
 			}
@@ -155,6 +179,31 @@ func main() {
 			sig = <-sigCh // escalate on a second signal
 		}
 		hard(sig)
+	}()
+
+	// SIGQUIT dumps live diagnostics — in-flight counts, snapshot
+	// freshness, goroutine stacks — without exiting.
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			inFlight := 0
+			for _, w := range workers {
+				inFlight += w.InFlight()
+			}
+			lines := []string{
+				fmt.Sprintf("worker %s: %d slot(s), %d job(s) in flight", *name, *parallel, inFlight),
+			}
+			if *snapDir == "" {
+				lines = append(lines, "snapshots: off")
+			} else if last := runner.LastSnapshotTime(); last.IsZero() {
+				lines = append(lines, fmt.Sprintf("snapshots: none written yet (resumed=%d)", runner.Resumed()))
+			} else {
+				lines = append(lines, fmt.Sprintf("snapshots: last written %s ago (resumed=%d, write failures=%d)",
+					time.Since(last).Round(time.Millisecond), runner.Resumed(), runner.SnapshotWriteFailures()))
+			}
+			obs.DumpDiagnostics(os.Stderr, "csaltd", lines)
+		}
 	}()
 
 	if tel != nil {

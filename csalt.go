@@ -27,8 +27,10 @@ import (
 	"sync"
 
 	"github.com/csalt-sim/csalt/internal/cache"
+	"github.com/csalt-sim/csalt/internal/checkpoint"
 	"github.com/csalt-sim/csalt/internal/core"
 	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/snapshot"
 	"github.com/csalt-sim/csalt/internal/workload"
 )
 
@@ -111,6 +113,17 @@ type ManyOpts struct {
 	// addition to the cheap always-on end-of-run pass. A violated
 	// invariant fails that run with an invariant.Violation.
 	CheckInvariants bool
+	// SnapshotDir, when set, arms durable mid-run snapshots: each run
+	// periodically persists its complete simulator state into this
+	// directory (keyed by configuration), resumes from its newest valid
+	// snapshot when one exists, and removes it on completion. Resumed
+	// runs are byte-identical to uninterrupted ones; a damaged snapshot
+	// is quarantined and the run starts from zero (see ROBUSTNESS.md,
+	// "Mid-run snapshots").
+	SnapshotDir string
+	// SnapshotEvery is the snapshot cadence in simulation steps; 0
+	// selects a sensible default. Ignored without SnapshotDir.
+	SnapshotEvery uint64
 }
 
 // runOne executes a single configuration with panic isolation: a panic
@@ -125,7 +138,7 @@ func runOne(ctx context.Context, cfg Config, o ManyOpts) (res *Results, err erro
 			err = fmt.Errorf("csalt: simulation panicked: %v\n%s", p, stack)
 		}
 	}()
-	s, err := sim.New(cfg)
+	s, clear, err := buildSystem(cfg, o)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +148,66 @@ func runOne(ctx context.Context, cfg Config, o ManyOpts) (res *Results, err erro
 	if o.CheckInvariants {
 		s.EnableInvariantChecks(0)
 	}
-	return s.RunContext(ctx)
+	res, err = s.RunContext(ctx)
+	if err == nil {
+		clear()
+	}
+	return res, err
+}
+
+// buildSystem constructs the run's system — restored from a valid mid-run
+// snapshot when SnapshotDir holds one for this configuration, fresh
+// otherwise — and returns the cleanup that removes the snapshot once the
+// run completes. Damage of any kind (unreadable bytes, checksum, version
+// or key mismatch, failed restore verification) quarantines the file and
+// falls back to a from-zero start.
+func buildSystem(cfg Config, o ManyOpts) (*sim.System, func(), error) {
+	none := func() {}
+	if o.SnapshotDir == "" {
+		s, err := sim.New(cfg)
+		return s, none, err
+	}
+	key, err := checkpoint.KeyOf(cfg)
+	if err != nil {
+		return nil, none, err
+	}
+	path := snapshot.PathFor(o.SnapshotDir, key)
+	var s *sim.System
+	if meta, st, rerr := snapshot.Read(path); rerr != nil {
+		snapshot.Quarantine(path) //nolint:errcheck
+	} else if st != nil && meta.Key == key {
+		if restored, rerr := sim.RestoreSystem(cfg, st); rerr == nil {
+			s = restored
+		} else {
+			snapshot.Quarantine(path) //nolint:errcheck
+		}
+	}
+	if s == nil {
+		if s, err = sim.New(cfg); err != nil {
+			return nil, none, err
+		}
+	}
+	s.EnableSnapshots(&fileSink{path: path, key: key}, o.SnapshotEvery)
+	return s, func() { snapshot.Remove(path) }, nil //nolint:errcheck
+}
+
+// fileSink persists one run's snapshots to its keyed slot, fail-open: a
+// failed write degrades the run to snapshot-free operation rather than
+// failing it.
+type fileSink struct {
+	path, key string
+	seq       uint64
+}
+
+func (k *fileSink) WriteSnapshot(st *snapshot.State, steps uint64) error {
+	meta := snapshot.Meta{
+		Schema: snapshot.Schema, Version: snapshot.Version,
+		Key: k.key, Seq: k.seq, Steps: steps,
+	}
+	if err := snapshot.Write(k.path, meta, st, nil); err == nil {
+		k.seq++
+	}
+	return nil
 }
 
 // RunMany executes several independent configurations across a bounded

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -41,6 +42,11 @@ const DefaultStallLimit = 200_000
 // DefaultJobTimeout bounds each job's wall clock; worker.stall injections
 // (which wedge a worker for a minute) must hit this deadline.
 const DefaultJobTimeout = time.Second
+
+// snapshotEvery is the mid-run snapshot cadence (in simulation steps) for
+// chaos runs: well under a micro job's length, so every job writes a few
+// snapshots and the snapshot.write / snapshot.restore seams see traffic.
+const snapshotEvery = 2_000
 
 // ExperimentID names the experiment the sweep runs; fig3 is the smallest
 // multi-job figure (five single-config jobs).
@@ -277,6 +283,15 @@ func runOne(ctx context.Context, opts Options, exp experiment.Experiment,
 	defer store.Close()
 	eng := experiment.NewEngine(opts.Scale, opts.Workers)
 	eng.Runner.Store = store
+	// Interrupted jobs left mid-run snapshots behind; the resume restores
+	// from them and must still land on the golden bytes — except after a
+	// sim.corrupt injection, whose in-place state corruption is faithfully
+	// carried by any later snapshot (restoring one would just re-detect the
+	// injected violation), so those runs resume from zero.
+	if run.Class != "invariant" {
+		eng.Runner.SnapshotDir = filepath.Join(dir, "snapshots")
+		eng.Runner.SnapshotEvery = snapshotEvery
+	}
 	eng.Runner.StallLimit = DefaultStallLimit
 	table, err := eng.RunContext(ctx, exp)
 	if err != nil {
@@ -305,6 +320,8 @@ func chaosRun(ctx context.Context, opts Options, exp experiment.Experiment,
 	eng := experiment.NewEngine(opts.Scale, opts.Workers)
 	eng.Runner.Store = store
 	eng.Runner.Chaos = plane
+	eng.Runner.SnapshotDir = filepath.Join(dir, "snapshots")
+	eng.Runner.SnapshotEvery = snapshotEvery
 	eng.Runner.StallLimit = DefaultStallLimit
 	eng.Runner.MaxRetries = opts.Retries
 	eng.JobTimeout = opts.JobTimeout

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"github.com/csalt-sim/csalt/internal/snapshot"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Snapshot export/import for the partitioning engines. The controller's
+// epoch cursor, last-used criticality weights and (when recorded) history
+// must survive a restore so the resumed run repartitions at exactly the
+// accesses the uninterrupted run would have; DIP's PSEL and bimodal cursor
+// likewise steer every post-restore insertion decision.
+
+// SaveState exports the controller's mutable state. The cache partition
+// itself is saved with the cache.
+func (ctl *Controller) SaveState() snapshot.ControllerState {
+	st := snapshot.ControllerState{
+		Accesses:         ctl.accesses,
+		Epoch:            ctl.epoch,
+		LastSDat:         ctl.lastSDat,
+		LastSTr:          ctl.lastSTr,
+		Epochs:           ctl.Stats.Epochs.Value(),
+		PartitionChanges: ctl.Stats.PartitionChanges.Value(),
+	}
+	if len(ctl.history) > 0 {
+		st.History = make([]snapshot.EpochSnap, len(ctl.history))
+		for i, h := range ctl.history {
+			st.History[i] = snapshot.EpochSnap{
+				Epoch:       h.Epoch,
+				DataWays:    h.DataWays,
+				TLBFraction: h.TLBFraction,
+				SDat:        h.SDat,
+				STr:         h.STr,
+				RawBestN:    h.RawBestN,
+			}
+		}
+	}
+	return st
+}
+
+// LoadState overwrites the controller's mutable state.
+func (ctl *Controller) LoadState(st snapshot.ControllerState) {
+	ctl.accesses = st.Accesses
+	ctl.epoch = st.Epoch
+	ctl.lastSDat = st.LastSDat
+	ctl.lastSTr = st.LastSTr
+	ctl.Stats.Epochs = stats.Counter(st.Epochs)
+	ctl.Stats.PartitionChanges = stats.Counter(st.PartitionChanges)
+	ctl.history = nil
+	if len(st.History) > 0 {
+		ctl.history = make([]Snapshot, len(st.History))
+		for i, h := range st.History {
+			ctl.history[i] = Snapshot{
+				Epoch:       h.Epoch,
+				DataWays:    h.DataWays,
+				TLBFraction: h.TLBFraction,
+				SDat:        h.SDat,
+				STr:         h.STr,
+				RawBestN:    h.RawBestN,
+			}
+		}
+	}
+}
+
+// SaveState exports the DIP engine's mutable state.
+func (d *DIP) SaveState() snapshot.DIPState {
+	return snapshot.DIPState{
+		PSel:            d.psel,
+		BIPCursor:       d.bipCursor,
+		MRULeaderMisses: d.MRULeaderMisses.Value(),
+		BIPLeaderMisses: d.BIPLeaderMisses.Value(),
+	}
+}
+
+// LoadState overwrites the DIP engine's mutable state.
+func (d *DIP) LoadState(st snapshot.DIPState) {
+	d.psel = st.PSel
+	d.bipCursor = st.BIPCursor
+	d.MRULeaderMisses = stats.Counter(st.MRULeaderMisses)
+	d.BIPLeaderMisses = stats.Counter(st.BIPLeaderMisses)
+}

@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/snapshot"
+	"github.com/csalt-sim/csalt/internal/stats"
+	"github.com/csalt-sim/csalt/internal/trace"
+)
+
+// Snapshot export/import for the cores. The scheduling state (current
+// context, clock, fractional-CPI accumulator, next switch point) and the
+// MLP window ring are everything Step consults, so restoring them resumes
+// the instruction stream at exactly the cycle the snapshot captured; the
+// contexts' trace sources are serialized by the sim layer through
+// NumContexts/SourceAt.
+
+// NumContexts returns the number of schedulable contexts on the core.
+func (c *Core) NumContexts() int { return len(c.contexts) }
+
+// SourceAt returns context i's trace source, for the sim layer's
+// source-state serialization.
+func (c *Core) SourceAt(i int) trace.Source { return c.contexts[i].Source }
+
+// SaveState exports the core's complete mutable state.
+func (c *Core) SaveState() snapshot.CoreState {
+	st := snapshot.CoreState{
+		Cur:         c.cur,
+		Cycle:       c.cycle,
+		CPIAccum:    c.cpiAccum,
+		NextSwitch:  c.nextSwitch,
+		Outstanding: make([]uint64, len(c.outstanding)),
+		OutHead:     c.outHead,
+		OutCount:    c.outCount,
+
+		Instructions:    c.Stats.Instructions.Value(),
+		MemRefs:         c.Stats.MemRefs.Value(),
+		Loads:           c.Stats.Loads.Value(),
+		Stores:          c.Stats.Stores.Value(),
+		ContextSwitches: c.Stats.ContextSwitches.Value(),
+		TranslateStall:  c.Stats.TranslateStall.Value(),
+		DataStall:       c.Stats.DataStall.Value(),
+	}
+	copy(st.Outstanding, c.outstanding)
+	return st
+}
+
+// LoadState overwrites the core's mutable state from a snapshot taken by a
+// core of the same configuration.
+func (c *Core) LoadState(st snapshot.CoreState) error {
+	if len(st.Outstanding) != len(c.outstanding) {
+		return fmt.Errorf("cpu: core %d snapshot has MLP window %d, want %d",
+			c.cfg.ID, len(st.Outstanding), len(c.outstanding))
+	}
+	if st.Cur < 0 || st.Cur >= len(c.contexts) {
+		return fmt.Errorf("cpu: core %d snapshot context %d out of range [0,%d)",
+			c.cfg.ID, st.Cur, len(c.contexts))
+	}
+	if st.OutHead < 0 || st.OutHead >= len(c.outstanding) || st.OutCount < 0 || st.OutCount > len(c.outstanding) {
+		return fmt.Errorf("cpu: core %d snapshot MLP ring head %d count %d invalid",
+			c.cfg.ID, st.OutHead, st.OutCount)
+	}
+	c.cur = st.Cur
+	c.cycle = st.Cycle
+	c.cpiAccum = st.CPIAccum
+	c.nextSwitch = st.NextSwitch
+	copy(c.outstanding, st.Outstanding)
+	c.outHead = st.OutHead
+	c.outCount = st.OutCount
+
+	c.Stats.Instructions = stats.Counter(st.Instructions)
+	c.Stats.MemRefs = stats.Counter(st.MemRefs)
+	c.Stats.Loads = stats.Counter(st.Loads)
+	c.Stats.Stores = stats.Counter(st.Stores)
+	c.Stats.ContextSwitches = stats.Counter(st.ContextSwitches)
+	c.Stats.TranslateStall = stats.Counter(st.TranslateStall)
+	c.Stats.DataStall = stats.Counter(st.DataStall)
+	return nil
+}

@@ -1,0 +1,54 @@
+package dram
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/snapshot"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Snapshot export/import for the DRAM devices. The per-bank open rows and
+// busy-until times are the entire timing state — the fixed latencies are
+// re-derived from the Config at construction — so restoring them resumes
+// every in-flight bank backlog exactly where the snapshot captured it.
+
+// SaveState exports the device's complete mutable state.
+func (d *DRAM) SaveState() snapshot.DRAMState {
+	st := snapshot.DRAMState{
+		Banks:        make([]snapshot.BankState, len(d.banks)),
+		Accesses:     d.Stats.Accesses.Value(),
+		Writes:       d.Stats.Writes.Value(),
+		RowHits:      d.Stats.RowHits.Value(),
+		RowEmpty:     d.Stats.RowEmpty.Value(),
+		RowConflicts: d.Stats.RowConflicts.Value(),
+	}
+	for i, b := range d.banks {
+		st.Banks[i] = snapshot.BankState{OpenRow: b.openRow, HasRow: b.hasRow, BusyUntil: b.busyUntil}
+	}
+	n, sum := d.Stats.Latency.State()
+	st.Latency = snapshot.Mean{N: n, Sum: sum}
+	counts, total, hsum := d.Stats.QueueWait.State()
+	st.QueueWait = snapshot.Hist{Counts: counts, Total: total, Sum: hsum}
+	return st
+}
+
+// LoadState overwrites the device's mutable state from a same-geometry
+// snapshot.
+func (d *DRAM) LoadState(st snapshot.DRAMState) error {
+	if len(st.Banks) != len(d.banks) {
+		return fmt.Errorf("dram %s: snapshot has %d banks, want %d", d.cfg.Name, len(st.Banks), len(d.banks))
+	}
+	for i, b := range st.Banks {
+		d.banks[i] = bank{openRow: b.OpenRow, hasRow: b.HasRow, busyUntil: b.BusyUntil}
+	}
+	d.Stats.Accesses = stats.Counter(st.Accesses)
+	d.Stats.Writes = stats.Counter(st.Writes)
+	d.Stats.RowHits = stats.Counter(st.RowHits)
+	d.Stats.RowEmpty = stats.Counter(st.RowEmpty)
+	d.Stats.RowConflicts = stats.Counter(st.RowConflicts)
+	d.Stats.Latency.SetState(st.Latency.N, st.Latency.Sum)
+	if err := d.Stats.QueueWait.SetState(st.QueueWait.Counts, st.QueueWait.Total, st.QueueWait.Sum); err != nil {
+		return fmt.Errorf("dram %s: %w", d.cfg.Name, err)
+	}
+	return nil
+}

@@ -171,6 +171,17 @@ type Runner struct {
 	// conservation pass runs regardless.
 	CheckInvariants bool
 
+	// SnapshotDir, when set, arms durable mid-run snapshots on every
+	// locally simulated job: state is written to <dir>/<key>.snap on the
+	// SnapshotEvery cadence, interrupted jobs resume from the newest valid
+	// snapshot with byte-identical results, and damaged snapshots are
+	// quarantined with a clean from-zero fallback (see snapshot.go and
+	// ROBUSTNESS.md, "Mid-run snapshots").
+	SnapshotDir string
+	// SnapshotEvery is the snapshot cadence in simulation steps (memory
+	// references); 0 selects the sim package default.
+	SnapshotEvery uint64
+
 	// Simulate, when non-nil, replaces the local simulation datapath for
 	// configurations not resolved by the memo cache or checkpoint store.
 	// The engine's fault tests inject failures here, and a fabric
@@ -178,11 +189,15 @@ type Runner struct {
 	// classified errors instead of silently re-simulating them locally.
 	Simulate func(ctx context.Context, cfg sim.Config) (*sim.Results, error)
 
-	mu       sync.Mutex
-	cache    map[sim.Config]*runEntry
-	failed   map[sim.Config]error
-	runs     int
-	replayed int
+	mu        sync.Mutex
+	cache     map[sim.Config]*runEntry
+	failed    map[sim.Config]error
+	runs      int
+	replayed  int
+	resumed   int
+	live      map[*sim.System]struct{}
+	lastSnap  time.Time
+	snapFails int
 }
 
 // PanicError is a worker panic converted into a per-job error: the
@@ -233,6 +248,14 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled)
 }
 
+// isInterruption extends isCancellation with the cooperative drain stop:
+// a job that wrote its drain snapshot and stopped did not fail — it is
+// waiting to be resumed — so it gets the same never-cached, never-masked
+// treatment as a cancellation.
+func isInterruption(err error) bool {
+	return isCancellation(err) || errors.Is(err, sim.ErrSnapshotStop)
+}
+
 // runEntry is one memo slot; done is closed once res/err are final.
 type runEntry struct {
 	done     chan struct{}
@@ -255,7 +278,7 @@ func (r *Runner) Run(cfg sim.Config) (*sim.Results, error) {
 // masks (non-cancellation) failures into poisoned results.
 func (r *Runner) RunContext(ctx context.Context, cfg sim.Config) (*sim.Results, error) {
 	res, _, err := r.run(ctx, cfg)
-	if err != nil && r.KeepGoing && !isCancellation(err) {
+	if err != nil && r.KeepGoing && !isInterruption(err) {
 		return sim.PoisonedResults(), nil
 	}
 	return res, err
@@ -284,9 +307,10 @@ func (r *Runner) run(ctx context.Context, cfg sim.Config) (*sim.Results, bool, e
 	e.res, e.replayed, e.err = r.simulate(ctx, cfg)
 	r.mu.Lock()
 	if e.err != nil {
-		if isCancellation(e.err) {
-			// The job didn't fail — it was interrupted. Evict the entry so
-			// a resume within this process re-simulates it.
+		if isInterruption(e.err) {
+			// The job didn't fail — it was interrupted (cancelled, or
+			// stopped at a drain snapshot). Evict the entry so a resume
+			// within this process re-simulates it.
 			delete(r.cache, cfg)
 		} else {
 			if r.failed == nil {
@@ -383,7 +407,7 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 	if r.Simulate != nil {
 		return r.Simulate(ctx, cfg)
 	}
-	sys, err := sim.New(cfg)
+	sys, err := r.buildOrRestore(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +427,13 @@ func (r *Runner) simulateOnce(ctx context.Context, cfg sim.Config) (res *sim.Res
 		// panic into a *PanicError).
 		defer r.ObserveDone(sys)
 	}
-	return sys.RunContext(ctx)
+	defer r.trackLive(sys)()
+	res, err = sys.RunContext(ctx)
+	if err == nil {
+		// The job is done; its mid-run snapshot is obsolete.
+		r.clearSnapshot(cfg)
+	}
+	return res, err
 }
 
 // chaosKey labels a job for fault-injection rule matching; the same

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"time"
+
+	"github.com/csalt-sim/csalt/internal/checkpoint"
+	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/sim"
+	"github.com/csalt-sim/csalt/internal/snapshot"
+)
+
+// Durable mid-run snapshots (see ROBUSTNESS.md, "Mid-run snapshots").
+//
+// With SnapshotDir set, every locally simulated job periodically writes
+// its complete simulator state to <dir>/<key>.snap — the same config key
+// the checkpoint store uses — and a job that finds a valid snapshot for
+// its key resumes from it instead of starting over. Resume is
+// byte-identical by contract (the sim-level suite enforces it), so an
+// interrupted sweep restarted with the same flags produces the same
+// tables, having re-simulated only the un-checkpointed tails.
+//
+// Failure policy is strictly fail-open: a snapshot that cannot be read,
+// fails its checksum, carries the wrong version or key, or fails the
+// restore verification is quarantined (renamed aside with a .corrupt
+// suffix) and the job starts from zero. A snapshot write failure degrades
+// the job to checkpoint-free operation rather than failing it. Both paths
+// have dedicated chaos seams (snapshot.write, snapshot.restore).
+
+// buildOrRestore constructs the system for one job: restored from a valid
+// snapshot when one exists, fresh otherwise, with the snapshot plane armed
+// either way when SnapshotDir is set.
+func (r *Runner) buildOrRestore(cfg sim.Config) (*sim.System, error) {
+	if r.SnapshotDir == "" {
+		return sim.New(cfg)
+	}
+	key, err := checkpoint.KeyOf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	path := snapshot.PathFor(r.SnapshotDir, key)
+	sys, seq := r.tryRestore(cfg, path, key)
+	if sys == nil {
+		if sys, err = sim.New(cfg); err != nil {
+			return nil, err
+		}
+		seq = 0
+	}
+	sys.EnableSnapshots(&runnerSink{r: r, path: path, key: key, seq: seq}, r.SnapshotEvery)
+	return sys, nil
+}
+
+// tryRestore attempts to resume from the job's snapshot slot. Any damage
+// — unreadable bytes, checksum/version/key mismatch, failed restore
+// verification — quarantines the file and reports no system (nil), which
+// falls back to a from-zero run. Returns the next snapshot sequence
+// number alongside a restored system.
+func (r *Runner) tryRestore(cfg sim.Config, path, key string) (*sim.System, uint64) {
+	if _, ok := r.Chaos.Fire(faultinject.SnapshotRestore, key); ok {
+		// The injected failure models unreadable snapshot bytes: whatever
+		// is in the slot is untrusted, so quarantine it and start clean.
+		_, _ = snapshot.Quarantine(path)
+		return nil, 0
+	}
+	meta, st, err := snapshot.Read(path)
+	if err != nil {
+		_, _ = snapshot.Quarantine(path)
+		return nil, 0
+	}
+	if st == nil {
+		return nil, 0 // no snapshot for this job
+	}
+	if meta.Key != key {
+		_, _ = snapshot.Quarantine(path)
+		return nil, 0
+	}
+	sys, rerr := sim.RestoreSystem(cfg, st)
+	if rerr != nil {
+		_, _ = snapshot.Quarantine(path)
+		return nil, 0
+	}
+	r.mu.Lock()
+	r.resumed++
+	r.mu.Unlock()
+	return sys, meta.Seq + 1
+}
+
+// clearSnapshot removes a completed job's snapshot — the result is in the
+// checkpoint store (or returned), so the mid-run state is obsolete.
+func (r *Runner) clearSnapshot(cfg sim.Config) {
+	if r.SnapshotDir == "" {
+		return
+	}
+	if key, err := checkpoint.KeyOf(cfg); err == nil {
+		_ = snapshot.Remove(snapshot.PathFor(r.SnapshotDir, key))
+	}
+}
+
+// trackLive registers a running system so SnapshotStopAll can reach it;
+// the returned func unregisters it.
+func (r *Runner) trackLive(sys *sim.System) func() {
+	r.mu.Lock()
+	if r.live == nil {
+		r.live = make(map[*sim.System]struct{})
+	}
+	r.live[sys] = struct{}{}
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.live, sys)
+		r.mu.Unlock()
+	}
+}
+
+// SnapshotStopAll asks every in-flight simulation to write a final drain
+// snapshot at its next poll boundary and stop with sim.ErrSnapshotStop —
+// the SIGTERM drain path. Jobs without the snapshot plane armed ignore it.
+func (r *Runner) SnapshotStopAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sys := range r.live {
+		sys.RequestSnapshotStop()
+	}
+}
+
+// LastSnapshotTime reports when this runner last persisted a snapshot
+// (zero if never) — surfaced by the SIGQUIT diagnostics dump.
+func (r *Runner) LastSnapshotTime() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSnap
+}
+
+// SnapshotWriteFailures counts degraded-to-checkpoint-free write attempts.
+func (r *Runner) SnapshotWriteFailures() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapFails
+}
+
+// Resumed reports how many jobs were restored from a mid-run snapshot.
+func (r *Runner) Resumed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resumed
+}
+
+// runnerSink persists one job's snapshots to its keyed slot, atomically
+// and fail-open: a write failure (including the snapshot.write chaos seam)
+// is counted and swallowed, degrading the job to checkpoint-free operation
+// instead of failing it.
+type runnerSink struct {
+	r    *Runner
+	path string
+	key  string
+	seq  uint64
+}
+
+func (k *runnerSink) WriteSnapshot(st *snapshot.State, steps uint64) error {
+	meta := snapshot.Meta{
+		Schema: snapshot.Schema, Version: snapshot.Version,
+		Key: k.key, Seq: k.seq, Steps: steps,
+	}
+	if err := snapshot.Write(k.path, meta, st, k.r.Chaos); err != nil {
+		k.r.mu.Lock()
+		k.r.snapFails++
+		k.r.mu.Unlock()
+		return nil
+	}
+	k.seq++
+	k.r.mu.Lock()
+	k.r.lastSnap = time.Now()
+	k.r.mu.Unlock()
+	return nil
+}

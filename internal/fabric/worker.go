@@ -13,6 +13,7 @@ import (
 
 	"github.com/csalt-sim/csalt/internal/experiment"
 	"github.com/csalt-sim/csalt/internal/faultinject"
+	"github.com/csalt-sim/csalt/internal/sim"
 )
 
 // WorkerOptions configures one pull worker.
@@ -218,9 +219,11 @@ func (w *Worker) execute(ctx context.Context, job *JobGrant) (bool, error) {
 		w.mu.Unlock()
 	}()
 
-	// Renew the lease at TTL/3 while the job runs. Renewal failures are
-	// deliberately ignored: if the lease lapses the job may be reassigned,
-	// and first-result-wins makes the race harmless.
+	// Renew the lease at ~TTL/3 while the job runs, jittered per worker so
+	// a fleet started in lockstep doesn't hammer the coordinator on
+	// synchronised renewal ticks. Renewal failures are deliberately
+	// ignored: if the lease lapses the job may be reassigned, and
+	// first-result-wins makes the race harmless.
 	jobCtx := ctx
 	var cancel context.CancelFunc
 	if job.Timeout > 0 {
@@ -233,7 +236,7 @@ func (w *Worker) execute(ctx context.Context, job *JobGrant) (bool, error) {
 		renewWG.Add(1)
 		go func() {
 			defer renewWG.Done()
-			t := time.NewTicker(ttl / 3)
+			t := time.NewTicker(renewInterval(w.opts.Name, ttl))
 			defer t.Stop()
 			for {
 				select {
@@ -270,6 +273,12 @@ func (w *Worker) execute(ctx context.Context, job *JobGrant) (bool, error) {
 		// The worker itself is shutting down; don't report a spurious
 		// failure — the lease will expire and the job will be reassigned.
 		return false, ctx.Err()
+	case errors.Is(err, sim.ErrSnapshotStop):
+		// A snapshot drain (SIGTERM with the snapshot plane armed) stopped
+		// the run with its state persisted. Not a failure: abandon the
+		// lease quietly — it expires, and whichever worker is reassigned
+		// the job resumes from the drain snapshot.
+		return false, nil
 	default:
 		req.Error, req.Class, req.Transient = err.Error(), Classify(err), experiment.IsTransient(err)
 	}
@@ -288,6 +297,27 @@ func (w *Worker) execute(ctx context.Context, job *JobGrant) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// renewInterval spreads lease renewals around TTL/3: a splitmix64 hash
+// of the worker name picks a stable offset in roughly ±20%, so a fleet
+// of workers launched together de-synchronises its renewal traffic
+// without shared coordination or wall-clock randomness — each worker's
+// cadence is reproducible from its name alone.
+func renewInterval(name string, ttl time.Duration) time.Duration {
+	h := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0xBF58476D1CE4E5B9
+	}
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	base := ttl / 3
+	span := base / 5 // ±20%
+	if span <= 0 {
+		return base
+	}
+	return base - span + time.Duration(h%uint64(2*span+1))
 }
 
 // sleep waits d (or not at all for d<=0) unless ctx ends first; reports

@@ -67,6 +67,14 @@ const (
 	// byte leaves the worker — the network-partition seam. Workers treat
 	// it as a transient failure and retry with backoff.
 	LinkPartition Point = "link.partition"
+	// SnapshotWrite fails a mid-run snapshot write before any byte lands;
+	// the run continues and the previous snapshot (if any) stays live, so
+	// an interrupted job falls back one boundary further.
+	SnapshotWrite Point = "snapshot.write"
+	// SnapshotRestore fails the restore of an existing snapshot as if it
+	// were unreadable; the job quarantines it and restarts from zero —
+	// results must still be byte-identical.
+	SnapshotRestore Point = "snapshot.restore"
 )
 
 // Rule is one clause of a schedule: fire at Point, for keys containing
@@ -127,6 +135,7 @@ var knownPoints = map[Point]bool{
 	JobPanic: true, JobTransient: true, WorkerStall: true,
 	SimStall: true, SimCorrupt: true, TelemetrySlow: true,
 	WorkerKill: true, LinkPartition: true,
+	SnapshotWrite: true, SnapshotRestore: true,
 }
 
 // Parse reads the schedule DSL: semicolon-separated `point:spec` clauses,
@@ -361,6 +370,11 @@ func Generate(seed uint64) Schedule {
 		func() Rule { return Rule{Point: SimStall, Nth: 1 + r.intn(8), Count: 1} },
 		func() Rule { return Rule{Point: SimCorrupt, Nth: 10 + r.intn(10), Count: 1} },
 		func() Rule { return Rule{Point: TelemetrySlow, Count: 1 + r.intn(2)} },
+		// Snapshot points: the harness snapshots each job a few times, so
+		// write ordinals span several jobs; the restore seam is consulted
+		// once per job start (and per retry), so small ordinals cover it.
+		func() Rule { return Rule{Point: SnapshotWrite, Nth: 1 + r.intn(6), Count: 1} },
+		func() Rule { return Rule{Point: SnapshotRestore, Nth: 1 + r.intn(4), Count: 1} },
 	}
 	n := 1 + r.intn(3)
 	var sched Schedule

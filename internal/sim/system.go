@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 
 	"github.com/csalt-sim/csalt/internal/cpu"
 	"github.com/csalt-sim/csalt/internal/introspect"
@@ -47,6 +48,17 @@ type System struct {
 	intro       *introspect.Plane
 	introRefs   uint64
 	introChecks []introCheck
+
+	// Snapshot plane (inert unless EnableSnapshots was called). warmed is
+	// run-loop state promoted to a field so a restored system resumes on
+	// the correct side of the warmup boundary; restoredBase keeps
+	// AttachObserver from re-anchoring a restored sampler baseline.
+	snapSink     SnapshotSink
+	snapEvery    uint64
+	sinceSnap    uint64
+	snapStop     atomic.Bool
+	warmed       bool
+	restoredBase bool
 
 	// Forward-progress watchdog (disabled unless SetStallLimit was called).
 	dog watchdog
@@ -165,8 +177,8 @@ func (s *System) Run() (*Results, error) {
 func (s *System) RunContext(ctx context.Context) (*Results, error) {
 	target := s.cfg.MaxRefsPerCore
 	warm := s.cfg.WarmupRefs
-	warmed := warm == 0
-	if warmed {
+	if !s.warmed && warm == 0 {
+		s.warmed = true
 		s.takeSnaps()
 	}
 
@@ -207,6 +219,15 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 			if sinceCheck >= checkEvery {
 				sinceCheck = 0
 				if err := ctx.Err(); err != nil {
+					// A cancellation racing a requested snapshot-drain still
+					// gets its final snapshot: the state at this boundary is
+					// exactly what a restore needs, and callers treat
+					// ErrSnapshotStop like a cancellation.
+					if s.snapSink != nil && s.snapStop.Load() {
+						if werr := s.writeSnapshot(); werr == nil {
+							return nil, ErrSnapshotStop
+						}
+					}
 					return nil, fmt.Errorf("sim: run cancelled: %w", err)
 				}
 				if err := s.checkStall(); err != nil {
@@ -214,6 +235,23 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 				}
 				if err := s.checkPeriodic(); err != nil {
 					return nil, err
+				}
+				if s.snapSink != nil {
+					// The poll boundary is schedule-safe: a fresh core scan
+					// after restore picks the same next core the batch loop
+					// would have (see snapshot.go), so nothing about taking a
+					// snapshot here perturbs the simulated schedule.
+					stop := s.snapStop.Load()
+					s.sinceSnap += checkEvery
+					if stop || s.sinceSnap >= s.snapEvery {
+						s.sinceSnap = 0
+						if err := s.writeSnapshot(); err != nil {
+							return nil, err
+						}
+						if stop {
+							return nil, ErrSnapshotStop
+						}
+					}
 				}
 			}
 			ok, err := next.Step()
@@ -237,7 +275,7 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 					s.phaseSample()
 				}
 			}
-			if !warmed {
+			if !s.warmed {
 				crossed := true
 				for _, c := range s.cores {
 					if c.Stats.MemRefs.Value() < warm {
@@ -246,7 +284,7 @@ func (s *System) RunContext(ctx context.Context) (*Results, error) {
 					}
 				}
 				if crossed {
-					warmed = true
+					s.warmed = true
 					s.mem.resetStats()
 					if s.intro != nil {
 						// The component counters under the probes just

@@ -5,6 +5,7 @@ import (
 
 	"github.com/csalt-sim/csalt/internal/cache"
 	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/snapshot"
 	"github.com/csalt-sim/csalt/internal/tlb"
 )
 
@@ -37,8 +38,12 @@ func (m *memSystem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int
 	// Demand population: first touch of a page installs its translation
 	// (a soft fault whose OS cost is not charged, as in the paper's
 	// methodology).
-	if _, err := vm.ensureMapped(v); err != nil {
+	created, err := vm.ensureMapped(v)
+	if err != nil {
 		return 0, 0, false, err
+	}
+	if created && m.faultLogOn {
+		m.faultLog = append(m.faultLog, snapshot.Fault{ASID: uint16(asid), Addr: uint64(v)})
 	}
 
 	if frame, size, hit := m.l1tlb[coreID].Lookup(v, asid); hit {
@@ -65,7 +70,6 @@ func (m *memSystem) Translate(now uint64, v mem.VAddr, asid mem.ASID, coreID int
 	var done uint64
 	var frame mem.PAddr
 	var size mem.PageSize
-	var err error
 	switch m.cfg.Org {
 	case OrgPOM:
 		done, frame, size, err = m.translatePOM(t, v, asid, coreID)

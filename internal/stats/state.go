@@ -1,0 +1,34 @@
+package stats
+
+import "fmt"
+
+// State accessors for the snapshot/restore plane (internal/snapshot): the
+// aggregates below keep their fields unexported to protect the canonical
+// accumulation order (see the package comment), so checkpointing reads and
+// writes them through these explicit methods. Restoring the exact (n, sum)
+// pair — not a recomputed mean — is what keeps a resumed run's float
+// aggregates bit-identical to an uninterrupted one.
+
+// State returns the sample count and left-to-right sum.
+func (r *RunningMean) State() (n uint64, sum float64) { return r.n, r.sum }
+
+// SetState overwrites the mean's accumulator state.
+func (r *RunningMean) SetState(n uint64, sum float64) { r.n, r.sum = n, sum }
+
+// State returns a copy of the bucket counts plus the total and sum.
+func (h *Log2Histogram) State() (counts []uint64, total, sum uint64) {
+	counts = make([]uint64, len(h.counts))
+	copy(counts, h.counts[:])
+	return counts, h.total, h.sum
+}
+
+// SetState overwrites the histogram's buckets and accumulators; counts must
+// carry exactly one value per bucket.
+func (h *Log2Histogram) SetState(counts []uint64, total, sum uint64) error {
+	if len(counts) != len(h.counts) {
+		return fmt.Errorf("stats: histogram state has %d buckets, want %d", len(counts), len(h.counts))
+	}
+	copy(h.counts[:], counts)
+	h.total, h.sum = total, sum
+	return nil
+}

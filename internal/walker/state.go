@@ -1,0 +1,103 @@
+package walker
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/snapshot"
+	"github.com/csalt-sim/csalt/internal/stats"
+)
+
+// Snapshot export/import for the page walkers. The PSCs (guest and host
+// levels, nested TLBs) hold the only cross-step state a walker carries —
+// the step buffers are scratch reused within one synchronous walk — so
+// serializing their entries plus the counters resumes walk latencies and
+// PSC hit patterns exactly. Address spaces are re-registered by the sim
+// layer during reconstruction.
+
+func savePSC(c *pscCache) snapshot.PSCState {
+	st := snapshot.PSCState{Entries: make([]snapshot.PSCEntry, len(c.entries)), Next: c.next}
+	for i, e := range c.entries {
+		st.Entries[i] = snapshot.PSCEntry{
+			ASID:  uint16(e.asid),
+			Key:   e.key,
+			Frame: uint64(e.frame),
+			Seq:   e.seq,
+			Valid: e.valid,
+		}
+	}
+	return st
+}
+
+func loadPSC(c *pscCache, st snapshot.PSCState) error {
+	if len(st.Entries) != len(c.entries) {
+		return fmt.Errorf("walker: PSC snapshot has %d entries, want %d", len(st.Entries), len(c.entries))
+	}
+	for i, e := range st.Entries {
+		c.entries[i] = pscEntry{
+			asid:  mem.ASID(e.ASID),
+			key:   e.Key,
+			frame: mem.PAddr(e.Frame),
+			seq:   e.Seq,
+			valid: e.Valid,
+		}
+	}
+	c.next = st.Next
+	return nil
+}
+
+// SaveState exports the walker's complete mutable state.
+func (w *Walker) SaveState() snapshot.WalkerState {
+	st := snapshot.WalkerState{
+		Nested:   savePSC(w.nested),
+		Nested2M: savePSC(w.nested2M),
+
+		Walks:          w.Stats.Walks.Value(),
+		MemAccesses:    w.Stats.MemAccesses.Value(),
+		PSCHits:        w.Stats.PSCHits.Value(),
+		NestedHits:     w.Stats.NestedHits.Value(),
+		NestedWalks:    w.Stats.NestedWalks.Value(),
+		WalksCompleted: w.Stats.WalksCompleted.Value(),
+		WalkErrors:     w.Stats.WalkErrors.Value(),
+	}
+	for i := 0; i < 3; i++ {
+		st.GuestPSC[i] = savePSC(w.guestPSC[i])
+		st.HostPSC[i] = savePSC(w.hostPSC[i])
+	}
+	n, sum := w.Stats.WalkCycles.State()
+	st.WalkCycles = snapshot.Mean{N: n, Sum: sum}
+	counts, total, hsum := w.Stats.WalkCyclesHist.State()
+	st.WalkCyclesHist = snapshot.Hist{Counts: counts, Total: total, Sum: hsum}
+	return st
+}
+
+// LoadState overwrites the walker's mutable state from a same-configuration
+// snapshot.
+func (w *Walker) LoadState(st snapshot.WalkerState) error {
+	for i := 0; i < 3; i++ {
+		if err := loadPSC(w.guestPSC[i], st.GuestPSC[i]); err != nil {
+			return err
+		}
+		if err := loadPSC(w.hostPSC[i], st.HostPSC[i]); err != nil {
+			return err
+		}
+	}
+	if err := loadPSC(w.nested, st.Nested); err != nil {
+		return err
+	}
+	if err := loadPSC(w.nested2M, st.Nested2M); err != nil {
+		return err
+	}
+	w.Stats.Walks = stats.Counter(st.Walks)
+	w.Stats.MemAccesses = stats.Counter(st.MemAccesses)
+	w.Stats.PSCHits = stats.Counter(st.PSCHits)
+	w.Stats.NestedHits = stats.Counter(st.NestedHits)
+	w.Stats.NestedWalks = stats.Counter(st.NestedWalks)
+	w.Stats.WalksCompleted = stats.Counter(st.WalksCompleted)
+	w.Stats.WalkErrors = stats.Counter(st.WalkErrors)
+	w.Stats.WalkCycles.SetState(st.WalkCycles.N, st.WalkCycles.Sum)
+	if err := w.Stats.WalkCyclesHist.SetState(st.WalkCyclesHist.Counts, st.WalkCyclesHist.Total, st.WalkCyclesHist.Sum); err != nil {
+		return fmt.Errorf("walker: %w", err)
+	}
+	return nil
+}

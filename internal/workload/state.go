@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/csalt-sim/csalt/internal/mem"
+	"github.com/csalt-sim/csalt/internal/snapshot"
+	"github.com/csalt-sim/csalt/internal/trace"
+)
+
+// Snapshot export/import for the synthetic generators. A generator's
+// behaviour is fully determined by its (immutable) calibration plus the
+// cursor state below — the splitmix64 RNG, the drifting hot window, the
+// sequential and warm-burst cursors, and the buffered remainder of the
+// current visit — so restoring it resumes the reference stream at exactly
+// the record the snapshot captured.
+
+// StatefulSource is a trace source whose cursor state can be exported and
+// restored; the sim layer type-asserts against it when snapshotting.
+type StatefulSource interface {
+	trace.Source
+	SaveState() snapshot.GenState
+	LoadState(snapshot.GenState) error
+}
+
+// State exports the RNG's mutable state.
+func (r *RNG) State() snapshot.RNG {
+	return snapshot.RNG{State: r.state, GeoMean: r.geoMean, GeoLog: r.geoLog}
+}
+
+// SetState overwrites the RNG's mutable state.
+func (r *RNG) SetState(st snapshot.RNG) {
+	r.state = st.State
+	r.geoMean = st.GeoMean
+	r.geoLog = st.GeoLog
+}
+
+// SaveState implements StatefulSource.
+func (g *visitGen) SaveState() snapshot.GenState {
+	st := snapshot.GenState{
+		RNG:      g.rng.State(),
+		WinStart: g.winStart,
+		Visits:   g.visits,
+		SeqLine:  g.seqLine,
+		WarmPage: g.warmPage,
+		WarmLeft: g.warmLeft,
+		Buf:      make([]snapshot.Rec, g.bufN),
+		BufN:     g.bufN,
+		BufI:     g.bufI,
+	}
+	for i := 0; i < g.bufN; i++ {
+		r := g.buf[i]
+		st.Buf[i] = snapshot.Rec{
+			Kind:   uint8(r.Kind),
+			Addr:   uint64(r.Addr),
+			ASID:   uint16(r.ASID),
+			NonMem: r.NonMem,
+		}
+	}
+	return st
+}
+
+// LoadState implements StatefulSource.
+func (g *visitGen) LoadState(st snapshot.GenState) error {
+	if st.BufN < 0 || st.BufN > len(g.buf) || len(st.Buf) != st.BufN {
+		return fmt.Errorf("workload: generator snapshot buffer %d/%d exceeds capacity %d",
+			len(st.Buf), st.BufN, len(g.buf))
+	}
+	if st.BufI < 0 || st.BufI > st.BufN {
+		return fmt.Errorf("workload: generator snapshot cursor %d outside buffer %d", st.BufI, st.BufN)
+	}
+	g.rng.SetState(st.RNG)
+	g.winStart = st.WinStart
+	g.visits = st.Visits
+	g.seqLine = st.SeqLine
+	g.warmPage = st.WarmPage
+	g.warmLeft = st.WarmLeft
+	for i := range g.buf {
+		g.buf[i] = trace.Record{}
+	}
+	for i, r := range st.Buf {
+		g.buf[i] = trace.Record{
+			Kind:   trace.Kind(r.Kind),
+			Addr:   mem.VAddr(r.Addr),
+			ASID:   mem.ASID(r.ASID),
+			NonMem: r.NonMem,
+		}
+	}
+	g.bufN = st.BufN
+	g.bufI = st.BufI
+	return nil
+}
